@@ -1,0 +1,92 @@
+"""Design-space ablations (DESIGN.md): the architecture knobs the paper
+fixes without a sensitivity study, swept on one social and one road
+analog."""
+
+import pytest
+
+from repro.bench import (
+    load,
+    sweep_cache_capacity,
+    sweep_cache_organization,
+    sweep_conflict_resolution,
+    sweep_pipeline_components,
+    sweep_reordering,
+)
+
+
+@pytest.fixture(scope="module")
+def social(scale, seed):
+    return load("CL", seed=seed, size=scale)
+
+
+@pytest.fixture(scope="module")
+def road(scale, seed):
+    return load("RC", seed=seed, size=scale)
+
+
+def bench_cache_capacity(benchmark, record_table, social, cache_vertices):
+    result = benchmark.pedantic(
+        lambda: sweep_cache_capacity(social), rounds=1, iterations=1)
+    record_table(result)
+    dram = result.column("DRAM blocks")
+    assert dram[-1] < dram[0]  # more cache, less DRAM
+
+
+def bench_cache_organization(benchmark, record_table, social,
+                             cache_vertices):
+    result = benchmark.pedantic(
+        lambda: sweep_cache_organization(social,
+                                         cache_vertices=cache_vertices),
+        rounds=1, iterations=1)
+    record_table(result)
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["direct"][1] <= by_name["none"][1]  # DRAM blocks
+
+
+def bench_conflict_resolution(benchmark, record_table, social,
+                              cache_vertices):
+    result = benchmark.pedantic(
+        lambda: sweep_conflict_resolution(social,
+                                          cache_vertices=cache_vertices),
+        rounds=1, iterations=1)
+    record_table(result)
+    penalties = result.column("Atomic penalty %")
+    assert all(p >= 0.0 for p in penalties)
+    assert penalties[-1] >= penalties[0]  # worse at higher parallelism
+
+
+def bench_pipeline_components(benchmark, record_table, road,
+                              cache_vertices):
+    result = benchmark.pedantic(
+        lambda: sweep_pipeline_components(road,
+                                          cache_vertices=cache_vertices),
+        rounds=1, iterations=1)
+    record_table(result)
+    by_name = {row[0]: row[2] for row in result.rows}
+    assert by_name["both"] >= by_name["merge only"] >= 1.0
+    assert by_name["both"] >= by_name["overlap only"] >= 1.0
+
+
+def bench_reordering(benchmark, record_table, social, cache_vertices):
+    result = benchmark.pedantic(
+        lambda: sweep_reordering(social, cache_vertices=cache_vertices),
+        rounds=1, iterations=1)
+    record_table(result)
+    by_name = {row[0]: row[1] for row in result.rows}
+    assert by_name["sort"] >= by_name["identity"]  # hit rate
+
+
+def bench_weight_distributions(benchmark, record_table, social,
+                               cache_vertices, seed):
+    from repro.bench import sweep_weight_distributions
+
+    result = benchmark.pedantic(
+        lambda: sweep_weight_distributions(
+            social, cache_vertices=cache_vertices, seed=seed),
+        rounds=1, iterations=1)
+    record_table(result)
+    # correctness under every distribution is asserted inside the sweep;
+    # tie-heavy weights must also converge in fewer/equal iterations
+    iters = dict(zip(result.column("Distribution"),
+                     result.column("Iterations")))
+    assert iters["unit"] <= iters["uniform-4B"]

@@ -1,0 +1,20 @@
+"""Fig 10: direct vs hash-based HDV cache — utilization and DRAM access."""
+
+from repro.bench import fig10_cache_utilization
+
+
+def bench_fig10(benchmark, record_table, scale, seed, cache_vertices):
+    util, dram = benchmark.pedantic(
+        lambda: fig10_cache_utilization(size=scale, seed=seed,
+                                        cache_vertices=cache_vertices),
+        rounds=1, iterations=1,
+    )
+    record_table(util)
+    record_table(dram)
+    # the reclaim mechanism must pay off where the paper's premise holds
+    # (many iterations -> many dead slots): the road networks, and the
+    # MinEdge cache overall.  See EXPERIMENTS.md for the magnitude gap.
+    me = dram.column("MinEdge Δ%")
+    assert sum(me) / len(me) > 0.0
+    road_rows = [r for r in dram.rows if r[0] in ("RC", "RP", "RT", "UR")]
+    assert all(r[6] > 0.0 for r in road_rows)  # Parent Δ% on roads

@@ -1,0 +1,15 @@
+"""Fig 13: single-PE cumulative optimization ablation (BSL..+SEW)."""
+
+from repro.bench import fig13_single_pe_ablation
+
+
+def bench_fig13(benchmark, record_table, scale, seed, cache_vertices):
+    result = benchmark.pedantic(
+        lambda: fig13_single_pe_ablation(size=scale, seed=seed,
+                                         cache_vertices=cache_vertices),
+        rounds=1, iterations=1,
+    )
+    record_table(result)
+    # every dataset's fully-optimized point beats its baseline
+    finals = [r for r in result.rows if r[1] == "+SEW"]
+    assert all(r[4] < 1.0 for r in finals)

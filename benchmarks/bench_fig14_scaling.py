@@ -1,0 +1,16 @@
+"""Fig 14: PE-count scaling with and without pipeline optimization."""
+
+from repro.bench import fig14_parallel_scaling
+
+
+def bench_fig14(benchmark, record_table, scale, seed, cache_vertices):
+    result = benchmark.pedantic(
+        lambda: fig14_parallel_scaling(size=scale, seed=seed,
+                                       cache_vertices=cache_vertices),
+        rounds=1, iterations=1,
+    )
+    record_table(result)
+    for row in result.rows:
+        p16_plain, p16_pipe = row[5], row[10]
+        assert 1.0 < p16_plain < 16.0  # sub-linear (conflicts)
+        assert p16_pipe >= p16_plain  # pipeline never hurts

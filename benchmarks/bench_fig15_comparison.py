@@ -1,0 +1,14 @@
+"""Fig 15: AMST vs MASTIFF (CPU) and Gunrock (GPU), MEPS and energy."""
+
+from repro.bench import fig15_platform_comparison
+
+
+def bench_fig15(benchmark, record_table, scale, seed, cache_vertices):
+    result = benchmark.pedantic(
+        lambda: fig15_platform_comparison(size=scale, seed=seed,
+                                          cache_vertices=cache_vertices),
+        rounds=1, iterations=1,
+    )
+    record_table(result)
+    assert all(s > 1.0 for s in result.column("vsCPU"))
+    assert all(e > 1.0 for e in result.column("E-vsCPU"))

@@ -1,0 +1,13 @@
+"""Fig 16: resource utilization and clock frequency vs parallelism."""
+
+from repro.bench import fig16_resource_utilization
+
+
+def bench_fig16(benchmark, record_table):
+    result = benchmark.pedantic(
+        lambda: fig16_resource_utilization(),
+        rounds=1, iterations=1,
+    )
+    record_table(result)
+    for row in result.rows:
+        assert row[6] and row[5] > 210.0

@@ -1,0 +1,49 @@
+"""Fig 3 (+ Section III-C): the motivation study.
+
+(a) stage breakdown of Borůvka; (b) neighborhood overlap; (c) useless
+computation per iteration; MASTIFF's atomic-op share.
+"""
+
+from repro.bench import (
+    fig3a_stage_breakdown,
+    fig3b_neighborhood_overlap,
+    fig3c_useless_computation,
+    mastiff_atomic_share,
+)
+
+
+def bench_fig3a(benchmark, record_table, scale, seed):
+    result = benchmark.pedantic(
+        lambda: fig3a_stage_breakdown(size=scale, seed=seed),
+        rounds=1, iterations=1,
+    )
+    record_table(result)
+    avg = result.rows[-1]
+    assert avg[1] > 50.0  # Stage 1 dominates
+
+
+def bench_fig3b(benchmark, record_table, scale, seed):
+    result = benchmark.pedantic(
+        lambda: fig3b_neighborhood_overlap(size=scale, seed=seed),
+        rounds=1, iterations=1,
+    )
+    record_table(result)
+
+
+def bench_fig3c(benchmark, record_table, scale, seed):
+    result = benchmark.pedantic(
+        lambda: fig3c_useless_computation(size=scale, seed=seed),
+        rounds=1, iterations=1,
+    )
+    record_table(result)
+
+
+def bench_mastiff_atomics(benchmark, record_table, scale, seed,
+                          cache_vertices):
+    result = benchmark.pedantic(
+        lambda: mastiff_atomic_share(size=scale, seed=seed,
+                                     cache_vertices=cache_vertices),
+        rounds=1, iterations=1,
+    )
+    record_table(result)
+    assert max(result.column("Atomic %")) > 20.0

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the library's own kernels.
+
+Unlike the figure benchmarks (single-shot experiment reproductions),
+these use pytest-benchmark's statistical timing to track the *library's*
+performance across commits: the reference MST algorithms, preprocessing,
+the simulator, and the vectorized primitives they share.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Amst, AmstConfig
+from repro.core.utils import (
+    concat_ranges,
+    segment_first,
+    segment_offsets,
+    segmented_prefix_minima_mask,
+)
+from repro.graph import preprocess, rmat
+from repro.mst import boruvka, filter_kruskal, kruskal, prim
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return rmat(12, 16, rng=7)
+
+
+@pytest.fixture(scope="module")
+def preprocessed(graph):
+    return preprocess(graph, reorder="sort", sort_edges_by_weight=True)
+
+
+def bench_kernel_kruskal(benchmark, graph):
+    result = benchmark(kruskal, graph)
+    assert result.num_edges > 0
+
+
+def bench_kernel_filter_kruskal(benchmark, graph):
+    result = benchmark(filter_kruskal, graph)
+    assert result.num_edges > 0
+
+
+def bench_kernel_boruvka(benchmark, graph):
+    result = benchmark(boruvka, graph)
+    assert result.num_edges > 0
+
+
+def bench_kernel_prim_small(benchmark):
+    g = rmat(9, 8, rng=7)  # Prim is scalar-heap: keep it small
+    result = benchmark(prim, g)
+    assert result.num_edges > 0
+
+
+def bench_kernel_preprocess(benchmark, graph):
+    pp = benchmark(
+        lambda: preprocess(graph, reorder="sort",
+                           sort_edges_by_weight=True))
+    assert pp.graph.num_edges == graph.num_edges
+
+
+def bench_kernel_amst_simulation(benchmark, graph, preprocessed):
+    cfg = AmstConfig.full(16, cache_vertices=1024)
+    result = benchmark(
+        lambda: Amst(cfg).run(graph, preprocessed=preprocessed))
+    assert result.result.num_edges > 0
+
+
+def bench_primitive_concat_ranges(benchmark):
+    rng = np.random.default_rng(0)
+    starts = rng.integers(0, 1000, 100_000)
+    ends = starts + rng.integers(0, 30, 100_000)
+    out = benchmark(concat_ranges, starts, ends)
+    assert out.size == (ends - starts).sum()
+
+
+def bench_primitive_segment_first(benchmark):
+    rng = np.random.default_rng(1)
+    lens = rng.integers(0, 30, 50_000)
+    offsets = segment_offsets(lens)
+    mask = rng.random(int(lens.sum())) < 0.1
+    out = benchmark(segment_first, mask, offsets)
+    assert out.size == 50_000
+
+
+def bench_primitive_prefix_minima(benchmark):
+    rng = np.random.default_rng(2)
+    keys = rng.integers(0, 1_000_000, 200_000)
+    group = rng.integers(0, 5_000, 200_000)
+    out = benchmark(segmented_prefix_minima_mask, keys, group)
+    assert out.any()

@@ -1,0 +1,15 @@
+"""Seed-stability of the headline metrics (methodological check)."""
+
+from repro.bench import seed_stability
+
+
+def bench_seed_stability(benchmark, record_table, scale, seed,
+                         cache_vertices):
+    result = benchmark.pedantic(
+        lambda: seed_stability(size=scale, cache_vertices=cache_vertices),
+        rounds=1, iterations=1)
+    record_table(result)
+    # AMST must beat the CPU for every seed of every dataset
+    assert all(result.column("AMST wins"))
+    # throughput variance across seeds stays modest
+    assert all(cv < 30.0 for cv in result.column("MEPS CV %"))

@@ -1,0 +1,12 @@
+"""Table I: dataset suite generation."""
+
+from repro.bench import table1_datasets
+
+
+def bench_table1(benchmark, record_table, scale, seed):
+    result = benchmark.pedantic(
+        lambda: table1_datasets(size=scale, seed=seed),
+        rounds=1, iterations=1,
+    )
+    record_table(result)
+    assert len(result.rows) == 10

@@ -1,0 +1,13 @@
+"""Table II: preprocessing (reorder + edge sort) vs sequential MST time."""
+
+from repro.bench import table2_preprocessing
+
+
+def bench_table2(benchmark, record_table, scale, seed):
+    result = benchmark.pedantic(
+        lambda: table2_preprocessing(size=scale, seed=seed),
+        rounds=1, iterations=1,
+    )
+    record_table(result)
+    # paper claim: reordering is cheap relative to the MST computation
+    assert all(r < 1.0 for r in result.column("Reorder/MST"))

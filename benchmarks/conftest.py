@@ -1,0 +1,78 @@
+"""Shared benchmark configuration.
+
+Every benchmark reproduces one table/figure via ``repro.bench.figures``
+and registers the resulting table with ``record_table``; the tables are
+printed in the terminal summary (outside pytest's capture) and written
+to ``benchmarks/results/``.
+
+Environment knobs:
+
+* ``AMST_BENCH_SCALE`` — dataset scale multiplier (default 0.5; 1.0
+  reproduces the EXPERIMENTS.md numbers, larger is slower but closer to
+  the paper's regime);
+* ``AMST_BENCH_SEED`` — suite seed (default 0).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.datasets import default_cache_vertices
+
+_TABLES: list[tuple[str, str]] = []
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("AMST_BENCH_SCALE", "0.5"))
+
+
+def bench_seed() -> int:
+    return int(os.environ.get("AMST_BENCH_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return bench_seed()
+
+
+@pytest.fixture(scope="session")
+def cache_vertices() -> int:
+    return default_cache_vertices(bench_scale())
+
+
+@pytest.fixture
+def record_table():
+    """Collect an ExperimentResult for the terminal summary + results/."""
+
+    def _record(result) -> None:
+        _TABLES.append((result.experiment, result.to_text()))
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line(
+        f"reproduced tables/figures (scale={bench_scale()}, "
+        f"seed={bench_seed()})"
+    )
+    terminalreporter.write_line("=" * 72)
+    for name, text in _TABLES:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)
+        fname = name.lower().replace(" ", "_") + ".txt"
+        (RESULTS_DIR / fname).write_text(text)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Parallelism scaling and the resource/performance trade-off.
+
+Sweeps PE count with and without the pipeline optimizations (Fig 14),
+joins the Fig 16 resource model, and answers the deployment question:
+*which parallelism maximizes MEPS per BRAM while still fitting the
+U280?*
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro import Amst, AmstConfig
+from repro.bench.runner import format_table
+from repro.core import estimate_resources
+from repro.graph import preprocess, rmat
+
+
+def main() -> None:
+    graph = rmat(13, 16, rng=5)
+    cache = 2048
+    print(f"graph: {graph.num_vertices:,} vertices, "
+          f"{graph.num_edges:,} edges; cache {cache} entries\n")
+
+    pre = preprocess(graph, reorder="sort", sort_edges_by_weight=True)
+    rows = []
+    base_cycles = None
+    for p in (1, 2, 4, 8, 16):
+        plain_cfg = AmstConfig.full(p, cache_vertices=cache).with_(
+            merge_rm_am=False, overlap_fm_cm=False)
+        pipe_cfg = AmstConfig.full(p, cache_vertices=cache)
+        plain = Amst(plain_cfg).run(graph, preprocessed=pre).report
+        piped = Amst(pipe_cfg).run(graph, preprocessed=pre).report
+        if base_cycles is None:
+            base_cycles = plain.total_cycles
+        res = estimate_resources(pipe_cfg.with_(cache_vertices=1 << 19))
+        util = res.utilization()
+        rows.append((
+            p,
+            round(base_cycles / plain.total_cycles, 2),
+            round(base_cycles / piped.total_cycles, 2),
+            round(piped.meps, 1),
+            f"{100 * util['BRAM']:.0f}%",
+            f"{res.frequency_mhz:.0f}",
+            round(piped.meps / max(res.bram36, 1), 3),
+        ))
+    print(format_table(
+        "PE scaling: speedup vs 1 PE, and the MEPS/BRAM efficiency",
+        ("P", "Speedup", "+Pipeline", "MEPS", "BRAM", "MHz", "MEPS/BRAM"),
+        rows,
+        ["sub-linear scaling: the single-port MinEdge writer serializes "
+         "(the paper's residual update conflict)"],
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""AMST reproduction — an FPGA minimum-spanning-tree accelerator,
+rebuilt as a functional + analytical-performance simulator.
+
+Reproduces *AMST: Accelerating Large-Scale Graph Minimum Spanning Tree
+Computation on FPGA* (Fan et al., IPDPS 2024).  See DESIGN.md for the
+system inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Public API tour::
+
+    from repro import Amst, AmstConfig
+    from repro.graph import rmat
+    from repro.mst import kruskal, validate_mst
+
+    g = rmat(14, 16, rng=7)                 # power-law graph
+    out = Amst(AmstConfig.full()).run(g)    # simulate the accelerator
+    validate_mst(g, out.result)             # provably minimal
+    print(out.report.meps)                  # modelled throughput
+
+Subpackages: ``repro.graph`` (CSR substrate), ``repro.mst`` (reference
+algorithms), ``repro.memory`` (HBM/cache models), ``repro.core`` (the
+accelerator), ``repro.baselines`` (CPU/GPU comparators), ``repro.bench``
+(per-figure experiment harness).
+"""
+
+from .core import Amst, AmstConfig, AmstOutput, PerfReport
+from .mst import MSTResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Amst",
+    "AmstConfig",
+    "AmstOutput",
+    "PerfReport",
+    "MSTResult",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""CPU (MASTIFF) and GPU (Gunrock) baseline models."""
+
+from .gunrock import GunrockRun, run_gunrock
+from .mastiff import MastiffRun, run_mastiff
+from .platform import (
+    TITAN_V,
+    XEON_4114,
+    CpuSpec,
+    GpuSpec,
+    PlatformResult,
+    cpu_time_energy,
+    gpu_time_energy,
+)
+from .workload import WorkloadCounts, counted_boruvka
+
+__all__ = [
+    "run_mastiff",
+    "MastiffRun",
+    "run_gunrock",
+    "GunrockRun",
+    "CpuSpec",
+    "GpuSpec",
+    "PlatformResult",
+    "XEON_4114",
+    "TITAN_V",
+    "cpu_time_energy",
+    "gpu_time_energy",
+    "WorkloadCounts",
+    "counted_boruvka",
+]

@@ -1,0 +1,36 @@
+"""Gunrock baseline (Wang et al., TOPC'17) — the paper's GPU comparator.
+
+Gunrock's MST app is a flat data-parallel Borůvka: every iteration sweeps
+the full edge list with massive thread parallelism and atomic min
+reductions, with no structure-aware pruning ("Gunrock lacks specific
+algorithm optimization", Section VI-C).  This module runs that kernel
+functionally (``filter_intra=False``) and converts the counts with the
+Titan V model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.csr import CSRGraph
+from ..mst.result import MSTResult
+from .platform import TITAN_V, GpuSpec, PlatformResult, gpu_time_energy
+from .workload import WorkloadCounts, counted_boruvka
+
+__all__ = ["GunrockRun", "run_gunrock"]
+
+
+@dataclass(frozen=True)
+class GunrockRun:
+    result: MSTResult
+    counts: WorkloadCounts
+    perf: PlatformResult
+
+
+def run_gunrock(graph: CSRGraph, spec: GpuSpec = TITAN_V) -> GunrockRun:
+    """Execute the data-parallel GPU baseline on ``graph``."""
+    result, counts = counted_boruvka(graph, filter_intra=False)
+    perf = gpu_time_energy(
+        counts, graph.num_vertices, graph.num_edges, spec
+    )
+    return GunrockRun(result=result, counts=counts, perf=perf)

@@ -1,0 +1,38 @@
+"""MASTIFF baseline (Koohi Esfahani et al., ICS'22) — the paper's CPU
+comparator.
+
+MASTIFF's contribution is *structure-aware* MST: it prunes edges known to
+be internal from the active set so later iterations shrink, but it still
+pays thread-level atomic protection for the parallel minimum reduction —
+the paper measures that cost at ≥ 35 % of execution time (Section
+III-C-1).  This module runs the structure-aware kernel functionally
+(:mod:`repro.baselines.workload` with ``filter_intra=True``) and converts
+the counts with the Xeon 4114 model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..graph.csr import CSRGraph
+from ..mst.result import MSTResult
+from .platform import XEON_4114, CpuSpec, PlatformResult, cpu_time_energy
+from .workload import WorkloadCounts, counted_boruvka
+
+__all__ = ["MastiffRun", "run_mastiff"]
+
+
+@dataclass(frozen=True)
+class MastiffRun:
+    result: MSTResult
+    counts: WorkloadCounts
+    perf: PlatformResult
+
+
+def run_mastiff(graph: CSRGraph, spec: CpuSpec = XEON_4114) -> MastiffRun:
+    """Execute the structure-aware CPU baseline on ``graph``."""
+    result, counts = counted_boruvka(graph, filter_intra=True)
+    perf = cpu_time_energy(
+        counts, graph.num_vertices, graph.num_edges, spec
+    )
+    return MastiffRun(result=result, counts=counts, perf=perf)

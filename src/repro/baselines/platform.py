@@ -1,0 +1,218 @@
+"""Platform cost models for the CPU and GPU baselines (Section VI-A).
+
+The paper measures MASTIFF on a 10-core Intel Xeon Silver 4114 and
+Gunrock on an NVIDIA Titan V; neither platform is available here, so both
+are modelled analytically from public specifications.  Three effects the
+paper identifies carry the comparison, and each is an explicit model
+term:
+
+1. **irregular memory access** — random Parent reads miss the last-level
+   cache once the working set exceeds it; misses pay DRAM latency,
+   partially hidden by memory-level parallelism;
+2. **atomic min-updates** — thread-level CAS protection; the paper
+   measures ≥ 35 % of MASTIFF's execution time in atomics;
+3. **raw parallel compute** — cores × IPC × frequency (CPU) or
+   SMs × throughput (GPU).
+
+Per-platform time = max(compute, memory) + atomics (atomics serialize on
+the contended cache lines and overlap poorly).  Energy = time × package /
+board power, matching the paper's CPU-Energy-Meter / nvidia-smi method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .workload import WorkloadCounts
+
+__all__ = ["CpuSpec", "GpuSpec", "PlatformResult", "XEON_4114", "TITAN_V",
+           "cpu_time_energy", "gpu_time_energy", "scaled_spec"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Xeon-class CPU model parameters."""
+
+    name: str
+    cores: int
+    frequency_hz: float
+    ipc: float  # sustained scalar ops / cycle / core on graph code
+    llc_bytes: int
+    dram_latency_s: float  # single random access
+    memory_parallelism: float  # outstanding misses per core (MLP)
+    atomic_cost_s: float  # contended CAS, amortized
+    sync_cost_s: float  # per-iteration barrier / fork-join overhead
+    tdp_watts: float
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """CUDA GPU model parameters."""
+
+    name: str
+    sms: int
+    cuda_cores: int
+    frequency_hz: float
+    l2_bytes: int
+    mem_bandwidth_bps: float
+    random_access_bytes: int  # bytes moved per random 4-8B load (sector)
+    random_efficiency: float  # achieved fraction of peak bw on random
+    atomic_cost_s: float
+    kernel_launch_s: float  # host-side launch latency per kernel
+    launches_per_iteration: int  # Gunrock MST issues 15+ kernels/iter
+    board_watts: float
+
+
+# Intel Xeon Silver 4114: 10C/20T, 2.2 GHz, 13.75 MB LLC, 85 W TDP.
+XEON_4114 = CpuSpec(
+    name="Xeon Silver 4114",
+    cores=10,
+    frequency_hz=2.2e9,
+    ipc=1.2,
+    llc_bytes=13_750_000,
+    dram_latency_s=110e-9,
+    memory_parallelism=4.0,
+    atomic_cost_s=120e-9,
+    sync_cost_s=20e-6,
+    tdp_watts=190.0,  # dual-socket host as measured by CPU Energy Meter
+)
+
+# NVIDIA Titan V: 80 SMs / 5120 cores, 1.455 GHz boost, 4.5 MB L2,
+# 652 GB/s HBM2, 250 W board power.
+TITAN_V = GpuSpec(
+    name="Titan V",
+    sms=80,
+    cuda_cores=5120,
+    frequency_hz=1.455e9,
+    l2_bytes=4_718_592,
+    mem_bandwidth_bps=652e9,
+    random_access_bytes=32,  # one 32B sector per stray load
+    random_efficiency=0.35,
+    atomic_cost_s=2.2e-9,
+    kernel_launch_s=8e-6,
+    launches_per_iteration=14,
+    board_watts=250.0,
+)
+
+
+def scaled_spec(spec, factor: float):
+    """Shrink a platform's caches by the dataset substitution factor.
+
+    The benchmark suite replaces the paper's graphs with ~100–1000×
+    smaller analogs (DESIGN.md); run as-is, those analogs would fit in a
+    real Xeon LLC / Titan L2 and the irregular-access wall the paper
+    measures would vanish.  Scaling the modelled cache capacities by the
+    same factor as the AMST HDV cache (``cache_vertices / 512K``)
+    preserves the cache-coverage ratios — the quantity that actually
+    drives the comparison.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    if isinstance(spec, CpuSpec):
+        return CpuSpec(**{**spec.__dict__,
+                          "llc_bytes": max(int(spec.llc_bytes * factor), 1)})
+    if isinstance(spec, GpuSpec):
+        return GpuSpec(**{**spec.__dict__,
+                          "l2_bytes": max(int(spec.l2_bytes * factor), 1)})
+    raise TypeError(f"unsupported spec type {type(spec)!r}")
+
+
+@dataclass(frozen=True)
+class PlatformResult:
+    """Modelled execution of a baseline on one platform."""
+
+    platform: str
+    seconds: float
+    compute_seconds: float
+    memory_seconds: float
+    atomic_seconds: float
+    power_watts: float
+    num_edges: int
+
+    @property
+    def meps(self) -> float:
+        return self.num_edges / self.seconds / 1e6 if self.seconds else 0.0
+
+    @property
+    def energy_joules(self) -> float:
+        return self.seconds * self.power_watts
+
+    @property
+    def atomic_share(self) -> float:
+        """Fraction of time in atomics (paper: ≥ 35 % for MASTIFF)."""
+        return self.atomic_seconds / self.seconds if self.seconds else 0.0
+
+
+def _miss_rate(working_set_bytes: int, cache_bytes: int) -> float:
+    """Fraction of random accesses missing a cache of the given size.
+
+    Random accesses over a working set hit with probability equal to the
+    fraction of the set that is resident; a small floor reflects
+    conflict/TLB misses even on resident sets.
+    """
+    if working_set_bytes <= 0:
+        return 0.0
+    resident = min(1.0, cache_bytes / working_set_bytes)
+    return max(0.05, 1.0 - resident)
+
+
+def cpu_time_energy(
+    counts: WorkloadCounts,
+    num_vertices: int,
+    num_edges: int,
+    spec: CpuSpec = XEON_4114,
+) -> PlatformResult:
+    """MASTIFF-style multithreaded Borůvka on a CPU."""
+    # working set of the random accesses: Parent + MinEdge arrays
+    ws = num_vertices * 12
+    miss = _miss_rate(ws, spec.llc_bytes)
+    compute = counts.total_ops / (spec.cores * spec.ipc * spec.frequency_hz)
+    misses = counts.random_reads * miss
+    memory = misses * spec.dram_latency_s / (
+        spec.cores * spec.memory_parallelism
+    )
+    atomics = counts.atomic_updates * spec.atomic_cost_s / spec.cores
+    sync = counts.iterations * spec.sync_cost_s
+    seconds = max(compute, memory) + atomics + sync
+    return PlatformResult(
+        platform=spec.name,
+        seconds=seconds,
+        compute_seconds=compute,
+        memory_seconds=memory,
+        atomic_seconds=atomics,
+        power_watts=spec.tdp_watts,
+        num_edges=num_edges,
+    )
+
+
+def gpu_time_energy(
+    counts: WorkloadCounts,
+    num_vertices: int,
+    num_edges: int,
+    spec: GpuSpec = TITAN_V,
+) -> PlatformResult:
+    """Gunrock-style data-parallel Borůvka on a GPU."""
+    ws = num_vertices * 12
+    miss = _miss_rate(ws, spec.l2_bytes)
+    # edge/vertex streaming is bandwidth-friendly; random Parent loads
+    # fetch a 32B sector each and achieve a fraction of peak bandwidth
+    stream_bytes = (counts.edges_scanned + counts.sequential_ops
+                    + counts.compress_ops) * 8
+    random_bytes = counts.random_reads * miss * spec.random_access_bytes
+    memory = (
+        stream_bytes / spec.mem_bandwidth_bps
+        + random_bytes / (spec.mem_bandwidth_bps * spec.random_efficiency)
+    )
+    compute = counts.total_ops / (spec.cuda_cores * spec.frequency_hz * 0.35)
+    atomics = counts.atomic_updates * spec.atomic_cost_s / spec.sms
+    launch = counts.iterations * spec.launches_per_iteration * spec.kernel_launch_s
+    seconds = max(compute, memory) + atomics + launch
+    return PlatformResult(
+        platform=spec.name,
+        seconds=seconds,
+        compute_seconds=compute,
+        memory_seconds=memory,
+        atomic_seconds=atomics,
+        power_watts=spec.board_watts,
+        num_edges=num_edges,
+    )

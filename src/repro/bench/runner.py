@@ -1,0 +1,94 @@
+"""Experiment orchestration and report formatting.
+
+Each figure/table function in ``repro.bench.figures`` returns an
+:class:`ExperimentResult` — named columns plus row tuples — and the
+helpers here print it in the paper's row order and compute the summary
+statistics the paper quotes (averages, reduction percentages).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["ExperimentResult", "geomean", "format_table"]
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; ignores non-positive entries (reported separately)."""
+    arr = np.asarray([v for v in values if v > 0], dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    experiment: str  # e.g. "Fig 13"
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(tuple(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def column(self, name: str) -> list:
+        idx = self.columns.index(name)
+        return [r[idx] for r in self.rows]
+
+    def to_text(self) -> str:
+        return format_table(
+            f"{self.experiment} — {self.title}",
+            self.columns,
+            self.rows,
+            self.notes,
+        )
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.to_text())
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+def format_table(
+    title: str,
+    columns: tuple[str, ...],
+    rows: list[tuple],
+    notes: list[str] | None = None,
+) -> str:
+    """Render a titled fixed-width text table (the benches' output)."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(c.rjust(w) for c, w in zip(columns, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    for note in notes or []:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines) + "\n"

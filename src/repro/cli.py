@@ -1,0 +1,191 @@
+"""``amst`` command-line interface.
+
+Subcommands::
+
+    amst run --dataset RC --parallelism 16      # one accelerator run
+    amst bench --experiment fig13 --scale 0.5   # reproduce one exhibit
+    amst bench --experiment all                 # reproduce everything
+    amst datasets                               # print Table I
+    amst resources                              # print Fig 16
+
+All experiments are deterministic under ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import bench
+from .bench.datasets import default_cache_vertices, load
+from .core import Amst, AmstConfig, format_profile, save_trace_csv, save_trace_json
+
+_EXPERIMENTS = {
+    "table1": lambda **kw: [bench.table1_datasets(
+        size=kw["size"], seed=kw["seed"])],
+    "table2": lambda **kw: [bench.table2_preprocessing(
+        size=kw["size"], seed=kw["seed"])],
+    "fig3": lambda **kw: [
+        bench.fig3a_stage_breakdown(size=kw["size"], seed=kw["seed"]),
+        bench.fig3b_neighborhood_overlap(size=kw["size"], seed=kw["seed"]),
+        bench.fig3c_useless_computation(size=kw["size"], seed=kw["seed"]),
+        bench.mastiff_atomic_share(size=kw["size"], seed=kw["seed"]),
+    ],
+    "fig10": lambda **kw: list(bench.fig10_cache_utilization(
+        size=kw["size"], seed=kw["seed"])),
+    "fig13": lambda **kw: [bench.fig13_single_pe_ablation(
+        size=kw["size"], seed=kw["seed"])],
+    "fig14": lambda **kw: [bench.fig14_parallel_scaling(
+        size=kw["size"], seed=kw["seed"])],
+    "fig15": lambda **kw: [bench.fig15_platform_comparison(
+        size=kw["size"], seed=kw["seed"])],
+    "fig16": lambda **kw: [bench.fig16_resource_utilization()],
+}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    g = load(args.dataset, seed=args.seed, size=args.scale)
+    cache = args.cache_vertices or default_cache_vertices(args.scale)
+    cfg = AmstConfig.full(args.parallelism, cache_vertices=cache)
+    out = Amst(cfg).run(g)
+    r = out.report
+    print(f"dataset      : {args.dataset} "
+          f"(n={g.num_vertices:,}, m={g.num_edges:,})")
+    print(f"forest       : {out.result.num_edges:,} edges, "
+          f"weight {out.result.total_weight:,.0f}, "
+          f"{out.result.num_components} component(s)")
+    print(f"iterations   : {r.num_iterations}")
+    print(f"cycles       : {r.total_cycles:,.0f} "
+          f"({r.seconds * 1e3:.3f} ms @ {cfg.frequency_mhz:.0f} MHz)")
+    print(f"throughput   : {r.meps:,.1f} MEPS")
+    print(f"DRAM blocks  : {r.dram_blocks:,} "
+          f"({r.dram_random_blocks:,} random)")
+    print(f"energy       : {r.energy_joules * 1e3:.3f} mJ "
+          f"@ {r.power_watts:.1f} W")
+    if args.validate:
+        from .mst import kruskal, validate_mst
+
+        validate_mst(g, out.result, reference=kruskal(g))
+        print("validation   : forest matches Kruskal (weight-exact)")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    names = (
+        list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    for name in names:
+        for result in _EXPERIMENTS[name](size=args.scale, seed=args.seed):
+            print(result.to_text())
+    return 0
+
+
+_SWEEPS = {
+    "cache": lambda g, cache: bench.sweep_cache_capacity(g),
+    "organization": lambda g, cache: bench.sweep_cache_organization(
+        g, cache_vertices=cache),
+    "network": lambda g, cache: bench.sweep_conflict_resolution(
+        g, cache_vertices=cache),
+    "pipeline": lambda g, cache: bench.sweep_pipeline_components(
+        g, cache_vertices=cache),
+    "reorder": lambda g, cache: bench.sweep_reordering(
+        g, cache_vertices=cache),
+    "weights": lambda g, cache: bench.sweep_weight_distributions(
+        g, cache_vertices=cache),
+}
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    g = load(args.dataset, seed=args.seed, size=args.scale)
+    cache = args.cache_vertices or default_cache_vertices(args.scale)
+    names = list(_SWEEPS) if args.sweep == "all" else [args.sweep]
+    for name in names:
+        print(_SWEEPS[name](g, cache).to_text())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    g = load(args.dataset, seed=args.seed, size=args.scale)
+    cache = args.cache_vertices or default_cache_vertices(args.scale)
+    cfg = AmstConfig.full(args.parallelism, cache_vertices=cache)
+    out = Amst(cfg).run(g)
+    print(format_profile(out))
+    if args.csv:
+        save_trace_csv(out, args.csv)
+        print(f"trace written to {args.csv}")
+    if args.json:
+        save_trace_json(out, args.json)
+        print(f"trace written to {args.json}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    print(bench.table1_datasets(size=args.scale, seed=args.seed).to_text())
+    return 0
+
+
+def _cmd_resources(_args: argparse.Namespace) -> int:
+    print(bench.fig16_resource_utilization().to_text())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="amst",
+        description="AMST FPGA MST accelerator — functional reproduction",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    pr = sub.add_parser("run", help="run the accelerator on one dataset")
+    pr.add_argument("--dataset", default="RC",
+                    help="Table I tag (EF/GD/CD/CL/RC/RP/RT/UR/CF/UU)")
+    pr.add_argument("--parallelism", type=int, default=16)
+    pr.add_argument("--cache-vertices", type=int, default=None)
+    pr.add_argument("--scale", type=float, default=1.0)
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--validate", action="store_true",
+                    help="check the forest against Kruskal")
+    pr.set_defaults(func=_cmd_run)
+
+    pb = sub.add_parser("bench", help="reproduce a table/figure")
+    pb.add_argument("--experiment", default="all",
+                    choices=["all", *_EXPERIMENTS])
+    pb.add_argument("--scale", type=float, default=1.0)
+    pb.add_argument("--seed", type=int, default=0)
+    pb.set_defaults(func=_cmd_bench)
+
+    pd = sub.add_parser("datasets", help="print the Table I suite")
+    pd.add_argument("--scale", type=float, default=1.0)
+    pd.add_argument("--seed", type=int, default=0)
+    pd.set_defaults(func=_cmd_datasets)
+
+    ps = sub.add_parser("resources", help="print the Fig 16 model")
+    ps.set_defaults(func=_cmd_resources)
+
+    pw = sub.add_parser("sweep", help="design-space sweeps (DESIGN.md)")
+    pw.add_argument("--sweep", default="all", choices=["all", *_SWEEPS])
+    pw.add_argument("--dataset", default="CL")
+    pw.add_argument("--cache-vertices", type=int, default=None)
+    pw.add_argument("--scale", type=float, default=1.0)
+    pw.add_argument("--seed", type=int, default=0)
+    pw.set_defaults(func=_cmd_sweep)
+
+    pt = sub.add_parser("trace", help="per-iteration execution profile")
+    pt.add_argument("--dataset", default="RC")
+    pt.add_argument("--parallelism", type=int, default=16)
+    pt.add_argument("--cache-vertices", type=int, default=None)
+    pt.add_argument("--scale", type=float, default=1.0)
+    pt.add_argument("--seed", type=int, default=0)
+    pt.add_argument("--csv", default=None, help="write trace rows to CSV")
+    pt.add_argument("--json", default=None, help="write trace to JSON")
+    pt.set_defaults(func=_cmd_trace)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,58 @@
+"""AMST core: the accelerator simulator and its performance models."""
+
+from .accelerator import Amst, AmstOutput
+from .config import AmstConfig, CycleCosts
+from .events import EventLog, IterationEvents
+from .fpe_reference import FpeResult, fpe_scan_vertex, reference_finding_pass
+from .perf import PerfReport, build_report, fpga_power_watts
+from .resources import U280, ResourceReport, estimate_resources
+from .scale_out import (
+    ScaleOutReport,
+    ScaleOutResult,
+    partition_vertices,
+    run_scale_out,
+)
+from .sorting_network import (
+    SortingNetwork,
+    bitonic_sort_pairs,
+    bitonic_stage_count,
+)
+from .state import SimState
+from .trace import (
+    IterationTrace,
+    format_profile,
+    save_trace_csv,
+    save_trace_json,
+    trace_run,
+)
+
+__all__ = [
+    "Amst",
+    "AmstOutput",
+    "AmstConfig",
+    "CycleCosts",
+    "EventLog",
+    "IterationEvents",
+    "FpeResult",
+    "fpe_scan_vertex",
+    "reference_finding_pass",
+    "PerfReport",
+    "build_report",
+    "fpga_power_watts",
+    "ResourceReport",
+    "estimate_resources",
+    "U280",
+    "SortingNetwork",
+    "bitonic_sort_pairs",
+    "bitonic_stage_count",
+    "SimState",
+    "IterationTrace",
+    "trace_run",
+    "save_trace_csv",
+    "save_trace_json",
+    "format_profile",
+    "run_scale_out",
+    "ScaleOutResult",
+    "ScaleOutReport",
+    "partition_vertices",
+]

@@ -1,0 +1,72 @@
+"""Event ledger: the simulator's raw output.
+
+Each iteration of the accelerator produces one :class:`IterationEvents`
+record — pure operation counts per module plus cache-utilization
+snapshots.  The performance model (``repro.core.perf``) is the only
+consumer that turns these into cycles; benchmarks may also read counts
+directly (e.g. Fig 13 plots DRAM accesses and computations, not time).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+__all__ = ["IterationEvents", "EventLog"]
+
+
+@dataclass
+class IterationEvents:
+    """Operation counts for one accelerator iteration.
+
+    ``counts`` keys are namespaced ``module.event`` strings; see
+    ``repro/core/finding.py`` etc. for the emitting sites.  ``module``
+    prefixes: ``fm`` (Finding), ``net`` (sorting network), ``rape``
+    (Removing+Appending), ``cm`` (Compressing), ``mem`` (DRAM blocks by
+    stream).
+    """
+
+    iteration: int
+    counts: Counter = field(default_factory=Counter)
+    parent_cache_utilization: float = 0.0
+    minedge_cache_utilization: float = 0.0
+
+    def add(self, name: str, value: int | float = 1) -> None:
+        self.counts[name] += int(value)
+
+    def get(self, name: str) -> int:
+        return int(self.counts.get(name, 0))
+
+    def total(self, prefix: str) -> int:
+        """Sum of all counters whose name starts with ``prefix``."""
+        return int(
+            sum(v for k, v in self.counts.items() if k.startswith(prefix))
+        )
+
+
+@dataclass
+class EventLog:
+    """All iterations of one run."""
+
+    iterations: list[IterationEvents] = field(default_factory=list)
+
+    def new_iteration(self) -> IterationEvents:
+        ev = IterationEvents(iteration=len(self.iterations))
+        self.iterations.append(ev)
+        return ev
+
+    def total(self, name_or_prefix: str) -> int:
+        """Exact-name total, or prefix total if the name ends with '.'"""
+        if name_or_prefix.endswith("."):
+            return sum(ev.total(name_or_prefix) for ev in self.iterations)
+        return sum(ev.get(name_or_prefix) for ev in self.iterations)
+
+    def grand_totals(self) -> Counter:
+        out: Counter = Counter()
+        for ev in self.iterations:
+            out.update(ev.counts)
+        return out
+
+    @property
+    def num_iterations(self) -> int:
+        return len(self.iterations)

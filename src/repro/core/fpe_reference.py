@@ -1,0 +1,145 @@
+"""Scalar FPE reference model — Fig 7's Steps ①–⑦, executed literally.
+
+The vectorized Finding Module (`finding.py`) processes all vertices at
+once; this module walks ONE vertex at a time through the exact decision
+sequence the paper's FPE datapath describes:
+
+  ① load the next edge word from the (ping-pong buffered) edge stream;
+  ② route the endpoint's Parent read by cache residency;
+  ③ if the parents match, the edge is internal → mark IE, go to ⑥;
+  ④ freshness check of the intermediate vertex (stale parents hop again);
+  ⑤ compare against ``me_p``; with SEW, the first external edge wins and
+    the remaining (heavier) edges are skipped;
+  ⑥ write back newly-marked IE flags;
+  ⑦ if every edge was internal, mark the vertex IV.
+
+It is deliberately slow and simple — its only job is to be an obviously-
+correct executable specification that the vectorized module is tested
+against, vertex by vertex and count by count
+(``tests/core/test_fpe_reference.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+
+__all__ = ["FpeResult", "fpe_scan_vertex", "reference_finding_pass"]
+
+
+@dataclass
+class FpeResult:
+    """Everything one FPE task produces for one source vertex."""
+
+    vertex: int
+    candidate_eid: int = -1  # undirected edge id of the find (-1 = none)
+    candidate_weight: float = float("inf")
+    candidate_target: int = -1  # component root across the edge
+    edges_examined: int = 0
+    flag_skips: int = 0  # IE-flagged edges passed over (Step 1)
+    parent_reads: int = 0  # endpoint Parent loads incl. stale hops (2/4)
+    weight_compares: int = 0  # Step-5 comparisons
+    new_ie_positions: list[int] = field(default_factory=list)  # half-edge idx
+    became_iv: bool = False
+
+
+def fpe_scan_vertex(
+    graph: CSRGraph,
+    v: int,
+    parent: np.ndarray,
+    ie: np.ndarray,
+    iv: np.ndarray,
+    *,
+    sew: bool,
+    sie: bool,
+    siv: bool,
+) -> FpeResult:
+    """Scan one vertex exactly as the FPE datapath would."""
+    res = FpeResult(vertex=v)
+    my_comp = _resolve(parent, v)
+    s, e = int(graph.indptr[v]), int(graph.indptr[v + 1])
+    best_w, best_eid, best_target = float("inf"), -1, -1
+    any_external = False
+
+    for k in range(s, e):
+        # Step 1: flagged edges are skipped without a Parent load
+        if sie and ie[k]:
+            res.flag_skips += 1
+            res.edges_examined += 1
+            continue
+        res.edges_examined += 1
+        dst = int(graph.dst[k])
+        # Steps 2+4: Parent load, hopping through stale (frozen) entries
+        res.parent_reads += 1
+        cur = int(parent[dst])
+        while parent[cur] != cur:
+            if siv:
+                res.parent_reads += 1
+            cur = int(parent[cur])
+        dst_comp = cur
+        if dst_comp == my_comp:
+            # Step 3 → 6: internal edge
+            if sie:
+                res.new_ie_positions.append(k)
+            continue
+        # Step 5: external — compare against the running minimum
+        any_external = True
+        res.weight_compares += 1
+        w = float(graph.weight[k])
+        eid = int(graph.eid[k])
+        if (w, eid) < (best_w, best_eid if best_eid >= 0 else np.inf):
+            best_w, best_eid, best_target = w, eid, dst_comp
+        if sew:
+            # weight-sorted edges: the first external edge is minimal,
+            # everything after it is at least as heavy — stop scanning
+            break
+
+    res.candidate_eid = best_eid
+    res.candidate_weight = best_w
+    res.candidate_target = best_target
+    res.became_iv = not any_external  # Step 7
+    return res
+
+
+def _resolve(parent: np.ndarray, v: int) -> int:
+    cur = int(parent[v])
+    while parent[cur] != cur:
+        cur = int(parent[cur])
+    return cur
+
+
+def reference_finding_pass(
+    graph: CSRGraph,
+    parent: np.ndarray,
+    ie: np.ndarray,
+    iv: np.ndarray,
+    *,
+    sew: bool = True,
+    sie: bool = True,
+    siv: bool = True,
+) -> list[FpeResult]:
+    """One full FM pass: scan every schedulable vertex in id order.
+
+    Mutates ``ie``/``iv`` exactly as the writer would at end-of-pass, so
+    consecutive passes compose like consecutive iterations.
+    """
+    deg = graph.degrees()
+    results = []
+    for v in range(graph.num_vertices):
+        if deg[v] == 0:
+            continue
+        if siv and iv[v]:
+            continue
+        res = fpe_scan_vertex(graph, v, parent, ie, iv,
+                              sew=sew, sie=sie, siv=siv)
+        results.append(res)
+    # commit flag updates after the pass (writer granularity)
+    for res in results:
+        for k in res.new_ie_positions:
+            ie[k] = True
+        if res.became_iv:
+            iv[res.vertex] = True
+    return results

@@ -1,0 +1,125 @@
+"""Mutable simulation state of the AMST accelerator.
+
+Holds exactly the data structures the RTL holds:
+
+* the ``Parent`` array, with per-vertex intra-vertex (IV) flag and
+  freshness marker (the paper's 6-bit ``it_idx``, here a full iteration
+  counter — functionally identical, see Section V-B-2);
+* the per-half-edge intra-edge (IE) flags (Section IV-B-1);
+* the per-component ``MinEdge`` table (weight / undirected eid / target
+  root), reset every iteration;
+* the ``Root`` list and the growing MST output;
+* the Parent / MinEdge HDV caches and the HBM traffic model.
+
+Crucially, ``parent`` follows *hardware* update semantics: the
+Compressing Module refreshes roots and non-IV leaves each iteration, but
+IV vertices are frozen once ``skip_intra_vertices`` is on.  A frozen
+vertex's parent pointer therefore chases through formerly-fresh vertices;
+:meth:`resolve_roots` recovers true component roots by pointer jumping
+(the chain always ends at a fresh vertex — see DESIGN.md "Simulator
+fidelity notes"), and the Finding Module charges one extra lookup per
+stale hop (Fig 7 Step ④'s freshness check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from ..memory.direct_cache import DirectHDVCache
+from ..memory.hash_cache import HashHDVCache
+from ..memory.hbm import HBMModel
+from ..memory.lru_cache import LRUCache
+from .config import AmstConfig
+
+__all__ = ["SimState"]
+
+
+def _make_cache(cfg: AmstConfig, n: int):
+    if not cfg.use_hdc:
+        return DirectHDVCache(0, n)  # capacity 0 == everything off-chip
+    if cfg.lru_cache:
+        ways = 8 if cfg.cache_vertices % 8 == 0 else 1
+        return LRUCache(cfg.cache_vertices, ways=ways)
+    if cfg.hash_cache:
+        return HashHDVCache(cfg.cache_vertices, n)
+    return DirectHDVCache(cfg.cache_vertices, n)
+
+
+@dataclass
+class SimState:
+    graph: CSRGraph
+    cfg: AmstConfig
+    parent: np.ndarray  # hardware Parent array (int64[n])
+    fresh_at: np.ndarray  # iteration at which parent[v] was last written
+    iv: np.ndarray  # intra-vertex flags (bool[n])
+    ie: np.ndarray  # intra-edge flags (bool[2m])
+    roots: np.ndarray  # current Root list (int64[k])
+    me_weight: np.ndarray  # MinEdge weight per component root
+    me_eid: np.ndarray  # MinEdge undirected edge id per root (-1 = null)
+    me_target: np.ndarray  # root of the component across the MinEdge
+    parent_cache: object
+    minedge_cache: object
+    hbm: HBMModel
+    iteration: int = 0
+
+    @classmethod
+    def initial(cls, graph: CSRGraph, cfg: AmstConfig) -> "SimState":
+        n = graph.num_vertices
+        return cls(
+            graph=graph,
+            cfg=cfg,
+            parent=np.arange(n, dtype=np.int64),
+            fresh_at=np.zeros(n, dtype=np.int64),
+            iv=np.zeros(n, dtype=bool),
+            ie=np.zeros(graph.num_half_edges, dtype=bool),
+            roots=np.arange(n, dtype=np.int64),
+            me_weight=np.full(n, np.inf),
+            me_eid=np.full(n, -1, dtype=np.int64),
+            me_target=np.full(n, -1, dtype=np.int64),
+            parent_cache=_make_cache(cfg, n),
+            minedge_cache=_make_cache(cfg, n),
+            hbm=HBMModel(),
+        )
+
+    # ------------------------------------------------------------------
+    def resolve_roots(self) -> np.ndarray:
+        """True component root of every vertex (chases frozen chains)."""
+        cur = self.parent.copy()
+        while True:
+            nxt = self.parent[cur]
+            if np.array_equal(nxt, cur):
+                return cur
+            cur = nxt
+
+    def stale_hops(self, ids: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
+        """Resolution cost of Parent lookups for endpoint ids.
+
+        Returns ``(roots, hop_ids)`` where ``roots[i]`` is the resolved
+        component root of ``ids[i]`` and ``hop_ids`` lists, per extra hop,
+        the vertex ids whose Parent entry had to be read (the first read
+        of ``parent[ids]`` itself is *not* included — callers count it).
+        A fresh vertex resolves in the first read; each stale (frozen IV)
+        link in the chain costs one extra read of the link's target.
+        """
+        ids = np.asarray(ids, dtype=np.int64)
+        cur = self.parent[ids]
+        hop_ids: list[np.ndarray] = []
+        # a pointer is final when its target is a root or fresh this pass
+        while True:
+            nxt = self.parent[cur]
+            unresolved = nxt != cur
+            if not unresolved.any():
+                return cur, hop_ids
+            hop_ids.append(cur[unresolved])
+            cur = np.where(unresolved, nxt, cur)
+
+    def reset_minedge(self) -> None:
+        """Stage-3 ``Update(MinEdge, ...)``: clear the table for the next
+        iteration (entries of live roots only; dead entries were already
+        invalidated in their caches)."""
+        self.me_weight[:] = np.inf
+        self.me_eid[:] = -1
+        self.me_target[:] = -1

@@ -1,0 +1,120 @@
+"""Vectorized segment utilities shared by the simulator modules.
+
+The simulator processes per-vertex CSR segments in bulk; these helpers
+implement the flattened-segment idioms (gather ranges, first-match within
+a segment, segmented running minimum) without Python-level loops, per the
+HPC guide's vectorize-the-inner-loop rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "concat_ranges",
+    "segment_offsets",
+    "segment_first",
+    "segmented_prefix_minima_mask",
+    "segmented_count_prefix_minima",
+]
+
+
+def concat_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(starts[i], ends[i])`` for all ``i``.
+
+    Empty ranges are allowed and contribute nothing.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    if starts.shape != ends.shape:
+        raise ValueError("starts and ends must have the same shape")
+    lens = ends - starts
+    if np.any(lens < 0):
+        raise ValueError("ends must be >= starts")
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    rep_starts = np.repeat(starts, lens)
+    # position within each segment: global arange minus segment base
+    seg_base = np.repeat(np.cumsum(lens) - lens, lens)
+    return rep_starts + (np.arange(total, dtype=np.int64) - seg_base)
+
+
+def segment_offsets(lens: np.ndarray) -> np.ndarray:
+    """Start offset of each segment in the flattened array (len k+1)."""
+    lens = np.asarray(lens, dtype=np.int64)
+    out = np.zeros(lens.size + 1, dtype=np.int64)
+    np.cumsum(lens, out=out[1:])
+    return out
+
+
+def segment_first(mask: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Index of the first True in each segment, or segment end if none.
+
+    ``offsets`` is the ``segment_offsets`` array (length ``k + 1``); the
+    result has length ``k`` with values in flattened-array coordinates.
+    Empty segments yield their own start offset (== end).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    n = mask.size
+    k = offsets.size - 1
+    if offsets[-1] != n:
+        raise ValueError("offsets[-1] must equal mask length")
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    sentinel = np.where(mask, np.arange(n, dtype=np.int64), np.int64(n))
+    lens = np.diff(offsets)
+    nonempty = lens > 0
+    first = offsets[1:].astype(np.int64).copy()  # default: segment end
+    if nonempty.any():
+        # reduceat is only valid on non-empty segments
+        red = np.minimum.reduceat(sentinel, offsets[:-1][nonempty])
+        found = red < n
+        # clamp to the owning segment: a sentinel of n means "not found"
+        tgt = np.flatnonzero(nonempty)
+        first[tgt[found]] = red[found]
+    # a "first" beyond the segment end cannot happen: sentinel values are
+    # in-segment indices or n, and n was mapped to the segment end above
+    return np.minimum(first, offsets[1:])
+
+
+def segmented_prefix_minima_mask(
+    keys: np.ndarray, group: np.ndarray
+) -> np.ndarray:
+    """Mask of strict prefix minima within each group, in given order.
+
+    ``keys`` are int64 totally-ordered keys (e.g. global ranks) and
+    ``group`` the group id of each element; elements of a group appear in
+    arrival order.  Position ``i`` is marked when it improves on every
+    earlier position of its group — exactly the candidates an ``me_p``
+    filter forwards and a read-modify-write MinEdge writer commits.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    group = np.asarray(group, dtype=np.int64)
+    if keys.shape != group.shape:
+        raise ValueError("keys and group must have the same shape")
+    n = keys.size
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    order = np.argsort(group, kind="stable")  # stable keeps arrival order
+    g = group[order]
+    k = keys[order]
+    starts = np.ones(n, dtype=bool)
+    starts[1:] = g[1:] != g[:-1]
+    seg_id = np.cumsum(starts) - 1
+    # Exact segmented running-min via decreasing int64 offsets per segment.
+    span = int(k.max() - k.min()) + 1
+    shifted = (k - k.min()) - seg_id * np.int64(span)
+    run = np.minimum.accumulate(shifted)
+    improved = np.empty(n, dtype=bool)
+    improved[0] = True
+    improved[1:] = shifted[1:] < run[:-1]
+    improved |= starts  # first of each segment always improves (vs +inf)
+    out = np.zeros(n, dtype=bool)
+    out[order] = improved
+    return out
+
+
+def segmented_count_prefix_minima(keys: np.ndarray, group: np.ndarray) -> int:
+    """Count of :func:`segmented_prefix_minima_mask` positions."""
+    return int(np.count_nonzero(segmented_prefix_minima_mask(keys, group)))

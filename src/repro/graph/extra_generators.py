@@ -1,0 +1,179 @@
+"""Additional graph families beyond the Table I analogs.
+
+These support the examples and the robustness tests: MST behaviour is
+sensitive to degree distribution and diameter, so exercising the
+simulator on small-world, preferential-attachment and geometric graphs
+(the three classic families the R-MAT/lattice suite does not cover)
+guards against structure-specific bugs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builders import from_edges, random_weights
+from .csr import CSRGraph
+
+__all__ = ["barabasi_albert", "watts_strogatz", "geometric_graph"]
+
+
+def _rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def barabasi_albert(
+    n: int,
+    m: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    weights: str = "random",
+) -> CSRGraph:
+    """Preferential attachment: each new vertex attaches to ``m`` targets
+    sampled proportionally to degree (the classic repeated-endpoints
+    trick).  Produces the pure power-law regime the HDV cache targets.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if n <= m:
+        raise ValueError("n must exceed m")
+    gen = _rng(rng)
+    # endpoint pool: every half-edge endpoint appears once, so sampling
+    # uniformly from the pool is degree-proportional sampling
+    pool = np.empty(2 * m * (n - m), dtype=np.int64)
+    pool_len = 0
+    us = np.empty(m * (n - m), dtype=np.int64)
+    vs = np.empty(m * (n - m), dtype=np.int64)
+    k = 0
+    for new in range(m, n):
+        if pool_len == 0:
+            targets = np.arange(m, dtype=np.int64)  # seed clique-ish start
+        else:
+            targets = pool[gen.integers(0, pool_len, size=m)]
+            targets = np.unique(targets)
+            while targets.size < m:
+                extra = pool[gen.integers(0, pool_len, size=m)]
+                targets = np.unique(np.concatenate([targets, extra]))[:m]
+        for t in targets[:m]:
+            us[k] = new
+            vs[k] = t
+            pool[pool_len] = new
+            pool[pool_len + 1] = t
+            pool_len += 2
+            k += 1
+    u, v = us[:k], vs[:k]
+    w = _weights(weights, k, gen)
+    return from_edges(n, u, v, w)
+
+
+def watts_strogatz(
+    n: int,
+    k: int,
+    p: float,
+    *,
+    rng: np.random.Generator | int | None = None,
+    weights: str = "random",
+) -> CSRGraph:
+    """Small-world ring lattice: each vertex linked to its ``k`` nearest
+    ring neighbors, each edge rewired with probability ``p`` (vectorized).
+    """
+    if k < 2 or k % 2:
+        raise ValueError("k must be even and >= 2")
+    if n <= k:
+        raise ValueError("n must exceed k")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must be a probability")
+    gen = _rng(rng)
+    base = np.arange(n, dtype=np.int64)
+    us, vs = [], []
+    for hop in range(1, k // 2 + 1):
+        us.append(base)
+        vs.append((base + hop) % n)
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    rewire = gen.random(u.size) < p
+    v = v.copy()
+    v[rewire] = gen.integers(0, n, size=int(rewire.sum()))
+    w = _weights(weights, u.size, gen)
+    return from_edges(n, u, v, w)
+
+
+def geometric_graph(
+    n: int,
+    radius: float,
+    *,
+    rng: np.random.Generator | int | None = None,
+    torus: bool = False,
+) -> CSRGraph:
+    """Random geometric graph on the unit square with Euclidean weights.
+
+    Points within ``radius`` are connected; weights are the distances —
+    the native model for the paper's VLSI routing motivation.  Uses grid
+    bucketing so only O(n) candidate pairs are examined at constant
+    expected degree.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if not 0.0 < radius <= 1.0:
+        raise ValueError("radius must be in (0, 1]")
+    gen = _rng(rng)
+    pts = gen.random((n, 2))
+    cells = max(int(1.0 / radius), 1)
+    cx = np.minimum((pts[:, 0] * cells).astype(np.int64), cells - 1)
+    cy = np.minimum((pts[:, 1] * cells).astype(np.int64), cells - 1)
+    cell = cx * cells + cy
+    order = np.argsort(cell, kind="stable")
+    sorted_cell = cell[order]
+    starts = np.flatnonzero(np.r_[True, sorted_cell[1:] != sorted_cell[:-1]])
+    ends = np.r_[starts[1:], n]
+    members = {int(sorted_cell[s]): order[s:e] for s, e in zip(starts, ends)}
+
+    us, vs, ws = [], [], []
+
+    def _pairs(a: np.ndarray, b: np.ndarray | None) -> None:
+        if b is None:  # within one cell
+            if a.size < 2:
+                return
+            iu = np.triu_indices(a.size, k=1)
+            pa, pb = a[iu[0]], a[iu[1]]
+        else:
+            if a.size == 0 or b.size == 0:
+                return
+            pa, pb = np.meshgrid(a, b, indexing="ij")
+            pa, pb = pa.ravel(), pb.ravel()
+        d = pts[pa] - pts[pb]
+        if torus:
+            d = np.abs(d)
+            d = np.minimum(d, 1.0 - d)
+        dist = np.hypot(d[:, 0], d[:, 1])
+        keep = dist <= radius
+        us.append(pa[keep])
+        vs.append(pb[keep])
+        ws.append(dist[keep])
+
+    for c, a in members.items():
+        gx, gy = divmod(c, cells)
+        _pairs(a, None)
+        for dx, dy in ((0, 1), (1, -1), (1, 0), (1, 1)):
+            nx, ny = gx + dx, gy + dy
+            if torus:
+                nx %= cells
+                ny %= cells
+            elif not (0 <= nx < cells and 0 <= ny < cells):
+                continue
+            _pairs(a, members.get(nx * cells + ny, np.empty(0, np.int64)))
+
+    if not us:
+        return from_edges(n, np.empty(0, np.int64), np.empty(0, np.int64))
+    return from_edges(
+        n, np.concatenate(us), np.concatenate(vs), np.concatenate(ws)
+    )
+
+
+def _weights(kind: str, m: int, gen: np.random.Generator) -> np.ndarray:
+    if kind == "random":
+        return random_weights(m, gen)
+    if kind == "unique":
+        return random_weights(m, gen, unique=True)
+    raise ValueError(f"unknown weight kind {kind!r}")

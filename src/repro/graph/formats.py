@@ -1,0 +1,102 @@
+"""Interoperability formats: METIS and Matrix Market.
+
+The road/web datasets of Table I circulate in several formats; supporting
+METIS (``.graph``) and Matrix Market (``.mtx``) lets a user run the
+benchmarks on the *real* SNAP/DIMACS files if they have them, instead of
+the synthetic analogs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .builders import from_edges
+from .csr import CSRGraph
+
+__all__ = ["save_metis", "load_metis", "save_matrix_market",
+           "load_matrix_market"]
+
+
+def save_metis(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """METIS format: 1-indexed adjacency lists with integer weights.
+
+    Weights are rounded to integers (METIS requires them positive
+    integral); use the npz format for loss-free persistence.
+    """
+    n, m = graph.num_vertices, graph.num_edges
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(f"{n} {m} 001\n")  # 001 = edge weights present
+        for vtx in range(n):
+            dst, w, _ = graph.edges_of(vtx)
+            parts = []
+            for d, ww in zip(dst.tolist(), w.tolist()):
+                parts.append(f"{d + 1} {max(int(round(ww)), 1)}")
+            fh.write(" ".join(parts) + "\n")
+
+
+def load_metis(path: str | os.PathLike) -> CSRGraph:
+    """Load a METIS graph (with or without edge weights)."""
+    with open(path, "r", encoding="ascii") as fh:
+        header = fh.readline().split()
+        if len(header) < 2:
+            raise ValueError("malformed METIS header")
+        n = int(header[0])
+        fmt = header[2] if len(header) > 2 else "000"
+        has_weights = fmt.endswith("1")
+        us, vs, ws = [], [], []
+        for vtx in range(n):
+            line = fh.readline()
+            if not line:
+                raise ValueError(f"missing adjacency line for vertex {vtx}")
+            tokens = line.split()
+            step = 2 if has_weights else 1
+            for i in range(0, len(tokens), step):
+                dst = int(tokens[i]) - 1
+                w = float(tokens[i + 1]) if has_weights else 1.0
+                if dst > vtx:  # each undirected edge appears twice
+                    us.append(vtx)
+                    vs.append(dst)
+                    ws.append(w)
+    return from_edges(
+        n, np.array(us, np.int64), np.array(vs, np.int64),
+        np.array(ws, np.float64),
+    )
+
+
+def save_matrix_market(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Matrix Market coordinate format (symmetric, real weights)."""
+    u, v, w = graph.edge_endpoints()
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write("%%MatrixMarket matrix coordinate real symmetric\n")
+        fh.write(f"{graph.num_vertices} {graph.num_vertices} "
+                 f"{graph.num_edges}\n")
+        # symmetric storage: lower triangle, 1-indexed
+        for a, b, c in zip(u.tolist(), v.tolist(), w.tolist()):
+            fh.write(f"{b + 1} {a + 1} {c!r}\n")
+
+
+def load_matrix_market(path: str | os.PathLike) -> CSRGraph:
+    """Load a symmetric real/pattern Matrix Market file."""
+    with open(path, "r", encoding="ascii") as fh:
+        header = fh.readline()
+        if not header.startswith("%%MatrixMarket"):
+            raise ValueError("not a Matrix Market file")
+        fields = header.split()
+        pattern = "pattern" in fields
+        line = fh.readline()
+        while line.startswith("%"):
+            line = fh.readline()
+        rows, cols, nnz = (int(x) for x in line.split())
+        n = max(rows, cols)
+        us = np.empty(nnz, np.int64)
+        vs = np.empty(nnz, np.int64)
+        ws = np.ones(nnz, np.float64)
+        for k in range(nnz):
+            tokens = fh.readline().split()
+            us[k] = int(tokens[0]) - 1
+            vs[k] = int(tokens[1]) - 1
+            if not pattern and len(tokens) > 2:
+                ws[k] = float(tokens[2])
+    return from_edges(n, us, vs, ws)

@@ -1,0 +1,222 @@
+"""Synthetic graph generators.
+
+The paper evaluates on SNAP / Network-Repository / WebGraph datasets
+(Table I).  Those graphs are not redistributable here, so we generate
+category-matched synthetic stand-ins (see DESIGN.md substitution table):
+
+* ``rmat`` — recursive-matrix power-law graphs for the social /
+  collaboration / web categories.  Degree skew is controlled by the
+  ``(a, b, c, d)`` quadrant probabilities.
+* ``road_lattice`` — perturbed 2-D lattices for the road-network
+  category: near-planar, bounded degree, huge diameter.
+* ``erdos_renyi`` — uniform random graphs used as an unstructured control.
+
+All generators are fully vectorized and deterministic under a seed.
+Small deterministic topologies (path/star/cycle/complete) support unit
+tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builders import from_edges, random_weights
+from .csr import CSRGraph
+
+__all__ = [
+    "rmat",
+    "road_lattice",
+    "erdos_renyi",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "paper_example",
+]
+
+
+def _rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    rng: np.random.Generator | int | None = None,
+    weights: str = "random",
+) -> CSRGraph:
+    """R-MAT graph with ``2**scale`` vertices and ``edge_factor * n`` edges.
+
+    The default ``(a, b, c, d)`` is the Graph500 parameterization, which
+    produces the power-law degree distribution the HDV cache exploits
+    (Section IV-A).  Self loops and duplicates are removed, so the final
+    edge count is slightly below the nominal one — the same convention the
+    SNAP datasets use.
+
+    ``weights`` is ``"random"`` (4-byte-style uniform) or ``"unique"``
+    (distinct values, unique MST).
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    d = 1.0 - a - b - c
+    if d < 0 or min(a, b, c) < 0:
+        raise ValueError("quadrant probabilities must be non-negative")
+    gen = _rng(rng)
+    n = 1 << scale
+    m = edge_factor * n
+    u = np.zeros(m, dtype=np.int64)
+    v = np.zeros(m, dtype=np.int64)
+    for _level in range(scale):
+        r = gen.random(m)
+        # Quadrants in row-major (src_bit, dst_bit) order with
+        # probabilities a=(0,0), b=(0,1), c=(1,0), d=(1,1).
+        src_bit = r >= a + b
+        dst_bit = ((r >= a) & (r < a + b)) | (r >= a + b + c)
+        u = (u << 1) | src_bit
+        v = (v << 1) | dst_bit
+    w = _make_weights(weights, m, gen)
+    return from_edges(n, u, v, w)
+
+
+def road_lattice(
+    width: int,
+    height: int,
+    *,
+    diagonal_prob: float = 0.05,
+    drop_prob: float = 0.1,
+    rng: np.random.Generator | int | None = None,
+    weights: str = "random",
+) -> CSRGraph:
+    """Perturbed 2-D lattice modelling road networks (RC/RP/RT/UR).
+
+    Vertices form a ``width x height`` grid connected to right/down
+    neighbors; a fraction ``diagonal_prob`` of cells gain a diagonal
+    shortcut and a fraction ``drop_prob`` of the lattice edges is removed,
+    yielding the low average degree (~2.5) and near-planar structure of
+    the SNAP road networks.  The result may be a forest, exactly like the
+    real road datasets (which have multiple components).
+    """
+    if width < 1 or height < 1:
+        raise ValueError("width and height must be >= 1")
+    if not (0.0 <= drop_prob < 1.0 and 0.0 <= diagonal_prob <= 1.0):
+        raise ValueError("probabilities out of range")
+    gen = _rng(rng)
+    n = width * height
+    ids = np.arange(n, dtype=np.int64).reshape(height, width)
+
+    horiz_u = ids[:, :-1].ravel()
+    horiz_v = ids[:, 1:].ravel()
+    vert_u = ids[:-1, :].ravel()
+    vert_v = ids[1:, :].ravel()
+    u = np.concatenate([horiz_u, vert_u])
+    v = np.concatenate([horiz_v, vert_v])
+    if drop_prob > 0.0:
+        keep = gen.random(u.size) >= drop_prob
+        u, v = u[keep], v[keep]
+    if diagonal_prob > 0.0 and width > 1 and height > 1:
+        diag_u = ids[:-1, :-1].ravel()
+        diag_v = ids[1:, 1:].ravel()
+        pick = gen.random(diag_u.size) < diagonal_prob
+        u = np.concatenate([u, diag_u[pick]])
+        v = np.concatenate([v, diag_v[pick]])
+    w = _make_weights(weights, u.size, gen)
+    return from_edges(n, u, v, w)
+
+
+def erdos_renyi(
+    num_vertices: int,
+    num_edges: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    weights: str = "random",
+) -> CSRGraph:
+    """G(n, m)-style random graph (endpoint pairs drawn uniformly)."""
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be >= 1")
+    gen = _rng(rng)
+    u = gen.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    v = gen.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    w = _make_weights(weights, num_edges, gen)
+    return from_edges(num_vertices, u, v, w)
+
+
+def _make_weights(kind: str, m: int, gen: np.random.Generator) -> np.ndarray:
+    if kind == "random":
+        return random_weights(m, gen)
+    if kind == "unique":
+        return random_weights(m, gen, unique=True)
+    raise ValueError(f"unknown weight kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# deterministic small topologies for tests and examples
+# ----------------------------------------------------------------------
+def path_graph(n: int, weights: np.ndarray | None = None) -> CSRGraph:
+    """0-1-2-...-(n-1) path; default weights 1..n-1."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    u = np.arange(n - 1, dtype=np.int64)
+    v = u + 1
+    if weights is None:
+        weights = np.arange(1, n, dtype=np.float64)
+    return from_edges(n, u, v, weights)
+
+
+def cycle_graph(n: int, weights: np.ndarray | None = None) -> CSRGraph:
+    """n-cycle; default weights 1..n."""
+    if n < 3:
+        raise ValueError("a cycle needs n >= 3")
+    u = np.arange(n, dtype=np.int64)
+    v = (u + 1) % n
+    if weights is None:
+        weights = np.arange(1, n + 1, dtype=np.float64)
+    return from_edges(n, u, v, weights)
+
+
+def star_graph(n: int, weights: np.ndarray | None = None) -> CSRGraph:
+    """Hub 0 connected to 1..n-1; the canonical maximal-HDV topology."""
+    if n < 2:
+        raise ValueError("a star needs n >= 2")
+    u = np.zeros(n - 1, dtype=np.int64)
+    v = np.arange(1, n, dtype=np.int64)
+    if weights is None:
+        weights = np.arange(1, n, dtype=np.float64)
+    return from_edges(n, u, v, weights)
+
+
+def complete_graph(n: int, rng: np.random.Generator | int | None = None) -> CSRGraph:
+    """K_n with unique random weights."""
+    if n < 2:
+        raise ValueError("a complete graph needs n >= 2")
+    iu = np.triu_indices(n, k=1)
+    u = iu[0].astype(np.int64)
+    v = iu[1].astype(np.int64)
+    w = random_weights(u.size, rng, unique=True)
+    return from_edges(n, u, v, w)
+
+
+def paper_example() -> CSRGraph:
+    """The 6-vertex running example in the spirit of the paper's Figure 1.
+
+    Two dense pockets joined by one light bridge, so Borůvka needs exactly
+    two iterations, produces an intra-edge after the first iteration, and
+    exercises the mirrored-edge removal in Stage 2.
+    """
+    edges = [
+        (0, 1, 2.0),  # both 0 and 1 pick this in iteration 1 (mirror pair)
+        (0, 3, 4.0),
+        (1, 3, 7.0),
+        (3, 4, 3.0),
+        (4, 5, 1.0),
+        (3, 5, 6.0),  # becomes an intra-edge after iteration 1
+        (2, 4, 5.0),
+        (1, 2, 8.0),
+    ]
+    u, v, w = (np.array(x) for x in zip(*edges))
+    return from_edges(6, u, v, w)

@@ -1,0 +1,29 @@
+"""FPGA memory subsystem models: HBM traffic, HDV caches, multi-port
+cache constructions."""
+
+from .direct_cache import DirectHDVCache
+from .hash_cache import HashHDVCache
+from .hbm import BLOCK_BYTES, HBMModel
+from .lru_cache import LRUCache
+from .multiport import (
+    BRAM_KBITS,
+    BankedParentCache,
+    CacheCost,
+    minedge_cache_cost,
+    parent_cache_cost,
+)
+from .stats import CacheStats
+
+__all__ = [
+    "HBMModel",
+    "BLOCK_BYTES",
+    "DirectHDVCache",
+    "HashHDVCache",
+    "LRUCache",
+    "CacheStats",
+    "BankedParentCache",
+    "CacheCost",
+    "minedge_cache_cost",
+    "parent_cache_cost",
+    "BRAM_KBITS",
+]

@@ -1,0 +1,77 @@
+"""Direct high-degree-vertex cache (Section IV-A, Fig 11a/b).
+
+After degree-based reordering, vertex id order *is* hotness order, so the
+simplest possible cache — "the first ``Vt`` vertices live on chip" — captures
+the hot working set.  Reads and writes are routed by an id threshold; there
+is no tag check and no eviction.
+
+The cache tracks *liveness* per slot: when a vertex's data dies (its
+component was merged away, or it became an intra-vertex) the slot keeps
+occupying BRAM but will never be read again.  ``utilization()`` reports the
+live fraction — the quantity Fig 10(a)/(b) shows collapsing below 50 %
+after the second iteration, motivating the hash-based variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .stats import CacheStats
+
+__all__ = ["DirectHDVCache"]
+
+
+class DirectHDVCache:
+    """Threshold-routed on-chip store for the first ``capacity`` vertices."""
+
+    def __init__(self, capacity: int, num_vertices: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self.num_vertices = num_vertices
+        self.vt = min(capacity, num_vertices)  # partitioning threshold
+        self._live = np.ones(self.vt, dtype=bool)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Vector of hit flags; counters updated."""
+        ids = np.asarray(ids, dtype=np.int64)
+        hits = ids < self.vt
+        nh = int(np.count_nonzero(hits))
+        self.stats.hits += nh
+        self.stats.misses += ids.size - nh
+        return hits
+
+    def write(self, ids: np.ndarray) -> np.ndarray:
+        """Vector of written-to-cache flags (False entries go to DRAM)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        cached = ids < self.vt
+        if cached.any():
+            self._live[ids[cached]] = True
+        nc = int(np.count_nonzero(cached))
+        self.stats.cache_writes += nc
+        self.stats.dram_writes += ids.size - nc
+        return cached
+
+    def mark_dead(self, ids: np.ndarray) -> None:
+        """Vertex data became useless (merged root / intra-vertex)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        ids = ids[ids < self.vt]
+        self._live[ids] = False
+        self.stats.invalidations += ids.size
+
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Live fraction of the cache (Fig 10a/b series)."""
+        if self.vt == 0:
+            return 0.0
+        return float(np.count_nonzero(self._live)) / self.vt
+
+    def contains(self, ids: np.ndarray) -> np.ndarray:
+        """Routing predicate without touching the counters."""
+        return np.asarray(ids, dtype=np.int64) < self.vt
+
+    def reset(self) -> None:
+        self._live[:] = True
+        self.stats = CacheStats()

@@ -1,0 +1,98 @@
+"""Hash-based HDV cache (Section V-F-1, Fig 11d/e).
+
+The direct HDV cache wastes slots once vertices die (merged roots, intra
+vertices).  The hash-based variant keeps the same direct address mapping —
+slot ``addr % C``, tag ``addr // C`` (the paper's ``Addr[18:0]`` /
+``Addr[31:19]`` split with C = 512K) — but adds a *batch id* tag so a dead
+slot can be re-claimed by any later vertex that hashes to it:
+
+* **init**: slots hold batch 0, i.e. vertices ``0..C-1`` (the HDVs after
+  degree reordering);
+* **read**: hit iff the stored batch id matches the address's batch;
+* **write**: hit or *empty* slot → write to cache (empty slots are claimed);
+  mismatched live slot → write to DRAM (no eviction);
+* **clear**: when a vertex's data dies its slot's batch id is set to empty.
+
+Within one vectorized batch of writes, in-order hardware semantics are
+emulated: the first write claiming an empty slot wins; later writes to the
+same slot from a different batch go to DRAM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .stats import CacheStats
+
+__all__ = ["HashHDVCache"]
+
+_EMPTY = np.int64(-1)
+
+
+class HashHDVCache:
+    """Batch-tagged direct-mapped on-chip store with claim-on-write."""
+
+    def __init__(self, capacity: int, num_vertices: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.num_vertices = num_vertices
+        # Initially populated with batch 0 == the HDVs (ids < capacity).
+        self._tag = np.zeros(capacity, dtype=np.int64)
+        if num_vertices < capacity:
+            self._tag[num_vertices:] = _EMPTY
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _split(self, ids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        ids = np.asarray(ids, dtype=np.int64)
+        return ids % self.capacity, ids // self.capacity
+
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        """Vector of hit flags; misses are DRAM fetches (no fill)."""
+        slots, batches = self._split(ids)
+        hits = self._tag[slots] == batches
+        nh = int(np.count_nonzero(hits))
+        self.stats.hits += nh
+        self.stats.misses += slots.size - nh
+        return hits
+
+    def write(self, ids: np.ndarray) -> np.ndarray:
+        """Vector of written-to-cache flags, claiming empty slots in order."""
+        slots, batches = self._split(ids)
+        cur = self._tag[slots]
+        empty = cur == _EMPTY
+        if empty.any():
+            pos = np.flatnonzero(empty)
+            # First write (in stream order) to each empty slot claims it.
+            _, first = np.unique(slots[pos], return_index=True)
+            claim = pos[first]
+            self._tag[slots[claim]] = batches[claim]
+        cached = self._tag[slots] == batches
+        nc = int(np.count_nonzero(cached))
+        self.stats.cache_writes += nc
+        self.stats.dram_writes += slots.size - nc
+        return cached
+
+    def mark_dead(self, ids: np.ndarray) -> None:
+        """Clear the batch id of dying vertices that currently own a slot."""
+        slots, batches = self._split(ids)
+        owner = self._tag[slots] == batches
+        self._tag[slots[owner]] = _EMPTY
+        self.stats.invalidations += int(np.count_nonzero(owner))
+
+    # ------------------------------------------------------------------
+    def contains(self, ids: np.ndarray) -> np.ndarray:
+        """Hit predicate without touching the counters."""
+        slots, batches = self._split(ids)
+        return self._tag[slots] == batches
+
+    def utilization(self) -> float:
+        """Fraction of slots holding live data (Fig 10a/b, hash series)."""
+        return float(np.count_nonzero(self._tag != _EMPTY)) / self.capacity
+
+    def reset(self) -> None:
+        self._tag[:] = 0
+        if self.num_vertices < self.capacity:
+            self._tag[self.num_vertices:] = _EMPTY
+        self.stats = CacheStats()

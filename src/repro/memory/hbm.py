@@ -1,0 +1,113 @@
+"""HBM / off-chip DRAM traffic model.
+
+The U280's HBM is accessed at 512-bit (64-byte) block granularity
+(Section V-A: "All accesses to global memory occur at the granularity of
+a block (512 bits)").  The model is a pure accounting device: callers
+report logical accesses per named stream (edge data, Parent, MinEdge,
+root list, MST output) and the model converts them into block transfers:
+
+* *random* accesses pay one block per item — the item's neighbours in the
+  block are useless, which is exactly the irregular-access tax the paper
+  measures;
+* *sequential* accesses pack ``block_bytes / item_bytes`` items per block.
+
+The cycle model (``repro.core.perf``) later converts block counts into
+time under per-channel bandwidth constraints.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+__all__ = ["HBMModel", "BLOCK_BYTES"]
+
+BLOCK_BYTES = 64  # 512-bit HBM access granularity
+
+
+@dataclass
+class _StreamStats:
+    random_items: int = 0
+    sequential_items: int = 0
+    blocks: int = 0
+
+    @property
+    def items(self) -> int:
+        return self.random_items + self.sequential_items
+
+
+class HBMModel:
+    """Per-stream block-transfer accounting for one accelerator run."""
+
+    def __init__(self, block_bytes: int = BLOCK_BYTES) -> None:
+        if block_bytes <= 0:
+            raise ValueError("block_bytes must be positive")
+        self.block_bytes = block_bytes
+        self._streams: dict[str, _StreamStats] = defaultdict(_StreamStats)
+
+    # ------------------------------------------------------------------
+    def access_random(self, stream: str, items: int, item_bytes: int) -> int:
+        """``items`` independent random accesses; one block each.
+
+        Returns the number of blocks transferred.
+        """
+        self._check(items, item_bytes)
+        st = self._streams[stream]
+        st.random_items += items
+        st.blocks += items
+        return items
+
+    def access_sequential(
+        self, stream: str, items: int, item_bytes: int
+    ) -> int:
+        """``items`` streamed contiguously; items pack into blocks."""
+        self._check(items, item_bytes)
+        per_block = max(self.block_bytes // item_bytes, 1)
+        blocks = -(-items // per_block) if items else 0  # ceil div
+        st = self._streams[stream]
+        st.sequential_items += items
+        st.blocks += blocks
+        return blocks
+
+    def access_blocks(self, stream: str, blocks: int) -> int:
+        """Pre-counted block transfers (e.g. deduplicated edge blocks)."""
+        if blocks < 0:
+            raise ValueError("blocks must be non-negative")
+        self._streams[stream].blocks += blocks
+        return blocks
+
+    @staticmethod
+    def _check(items: int, item_bytes: int) -> None:
+        if items < 0:
+            raise ValueError("items must be non-negative")
+        if item_bytes <= 0:
+            raise ValueError("item_bytes must be positive")
+
+    # ------------------------------------------------------------------
+    def blocks(self, stream: str | None = None) -> int:
+        """Total blocks for one stream, or across all streams."""
+        if stream is not None:
+            return self._streams[stream].blocks if stream in self._streams else 0
+        return sum(st.blocks for st in self._streams.values())
+
+    def items(self, stream: str | None = None) -> int:
+        if stream is not None:
+            return self._streams[stream].items if stream in self._streams else 0
+        return sum(st.items for st in self._streams.values())
+
+    def bytes_transferred(self) -> int:
+        return self.blocks() * self.block_bytes
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """Plain-dict dump for reports and assertions."""
+        return {
+            name: {
+                "random_items": st.random_items,
+                "sequential_items": st.sequential_items,
+                "blocks": st.blocks,
+            }
+            for name, st in sorted(self._streams.items())
+        }
+
+    def reset(self) -> None:
+        self._streams.clear()

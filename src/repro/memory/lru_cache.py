@@ -1,0 +1,94 @@
+"""Conventional set-associative LRU cache model.
+
+Section III-A argues that *"traditional cache strategies face
+difficulties in managing data"* for MST's mixed access patterns — this
+model exists to test that claim quantitatively rather than take it on
+faith.  It implements a ``ways``-associative LRU cache over vertex-id
+addresses with the same batch API as the HDV caches, so the cache-
+organization sweep can put LRU, direct-HDV and hash-HDV side by side at
+equal capacity (``sweep_cache_organization`` with ``include_lru=True``).
+
+The replacement state is exact (per-set LRU stamps), processed in stream
+order; a cache this size would be unbuildable in BRAM with multi-port
+access — which is the paper's other argument against it — so the sweep
+reports its hit rate as an upper bound, not a design point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .stats import CacheStats
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """Set-associative LRU over vertex ids (allocate-on-read-and-write)."""
+
+    def __init__(self, capacity: int, ways: int = 8) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if ways <= 0 or capacity % ways:
+            raise ValueError("capacity must be a positive multiple of ways")
+        self.capacity = capacity
+        self.ways = ways
+        self.sets = capacity // ways
+        self._tags = np.full((self.sets, ways), -1, dtype=np.int64)
+        self._stamp = np.zeros((self.sets, ways), dtype=np.int64)
+        self._clock = 0
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _touch(self, vid: int) -> bool:
+        """One access in stream order; returns hit flag and allocates."""
+        s = vid % self.sets
+        tags = self._tags[s]
+        self._clock += 1
+        hit_way = np.flatnonzero(tags == vid)
+        if hit_way.size:
+            self._stamp[s, hit_way[0]] = self._clock
+            return True
+        victim = int(np.argmin(self._stamp[s]))
+        self._tags[s, victim] = vid
+        self._stamp[s, victim] = self._clock
+        return False
+
+    def lookup(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        hits = np.fromiter(
+            (self._touch(int(v)) for v in ids), dtype=bool, count=ids.size
+        )
+        nh = int(np.count_nonzero(hits))
+        self.stats.hits += nh
+        self.stats.misses += ids.size - nh
+        return hits
+
+    def write(self, ids: np.ndarray) -> np.ndarray:
+        """Write-allocate: every write lands in the cache."""
+        ids = np.asarray(ids, dtype=np.int64)
+        for v in ids:
+            self._touch(int(v))
+        self.stats.cache_writes += ids.size
+        return np.ones(ids.size, dtype=bool)
+
+    def mark_dead(self, ids: np.ndarray) -> None:
+        """LRU has no liveness concept; dead lines age out naturally."""
+        self.stats.invalidations += np.asarray(ids).size
+
+    def contains(self, ids: np.ndarray) -> np.ndarray:
+        ids = np.asarray(ids, dtype=np.int64)
+        out = np.zeros(ids.size, dtype=bool)
+        for i, v in enumerate(ids):
+            s = int(v) % self.sets
+            out[i] = bool((self._tags[s] == v).any())
+        return out
+
+    def utilization(self) -> float:
+        return float(np.count_nonzero(self._tags >= 0)) / self.capacity
+
+    def reset(self) -> None:
+        self._tags[:] = -1
+        self._stamp[:] = 0
+        self._clock = 0
+        self.stats = CacheStats()

@@ -1,0 +1,142 @@
+"""Multi-port cache construction out of dual-port BRAMs (Section V-F-2).
+
+FPGAs only provide 2W/2R BRAM primitives, so AMST builds:
+
+* **1WnR MinEdge cache** — replicate a 1W1R BRAM ``n`` times; every replica
+  holds the full content (Fig 12a).
+* **mWnR Parent cache** — naive replication would need ``m * n / 2``
+  full-depth copies.  AMST instead exploits that the ``P`` leaf-compressing
+  PEs write a *strided* address partition (PE ``i`` writes addresses
+  ``i, i+P, i+2P, ...``), so each write port only needs depth ``D / P``;
+  quotient/remainder address arithmetic selects the bank on reads
+  (Fig 12b).  This shrinks the Parent cache by a factor of ``2P``.
+
+Two deliverables here:
+
+* :class:`BankedParentCache` — a *functional* model of the banked design:
+  it actually stores values, enforces the write-port/stride ownership rule,
+  and serves reads through the quotient/remainder mux, so tests can prove
+  the construction is equivalent to a flat array.
+* :func:`minedge_cache_cost` / :func:`parent_cache_cost` — BRAM-primitive
+  cost models used by the Fig 16 resource model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "BankedParentCache",
+    "CacheCost",
+    "minedge_cache_cost",
+    "parent_cache_cost",
+    "BRAM_KBITS",
+]
+
+# One U280 BRAM primitive: 36 Kbit, usable as 2W2R (true dual port).
+BRAM_KBITS = 36.0
+
+
+@dataclass(frozen=True)
+class CacheCost:
+    """BRAM cost of a multi-port cache build."""
+
+    depth: int  # entries per replica
+    word_bits: int
+    replicas: int  # physical copies of the content
+    brams: int  # 36Kbit primitives consumed
+
+    @property
+    def total_kbits(self) -> float:
+        return self.depth * self.word_bits * self.replicas / 1024.0
+
+
+def _brams_for(depth: int, word_bits: int) -> int:
+    """Primitives for one ``depth x word_bits`` memory (width-stacked)."""
+    bits = depth * word_bits
+    return max(1, -(-bits // int(BRAM_KBITS * 1024)))
+
+
+def minedge_cache_cost(depth: int, read_ports: int, word_bits: int = 64) -> CacheCost:
+    """1W ``n``R by full replication (Fig 12a): ``n`` copies of the data."""
+    if read_ports < 1:
+        raise ValueError("read_ports must be >= 1")
+    replicas = read_ports
+    return CacheCost(
+        depth=depth,
+        word_bits=word_bits,
+        replicas=replicas,
+        brams=replicas * _brams_for(depth, word_bits),
+    )
+
+
+def parent_cache_cost(
+    depth: int,
+    write_ports: int,
+    read_ports: int,
+    word_bits: int = 40,
+) -> CacheCost:
+    """mW nR banked build (Fig 12b).
+
+    Step ①: base 2W/2R BRAM of depth ``2 * depth / P`` (``P`` =
+    ``write_ports``); step ②: ``n/2`` replicas for reads; step ③: ``m/2``
+    RM groups, one per write-port pair, each holding a *different* stride
+    class.  Net: content volume ``depth * n / 2`` instead of the naive
+    ``depth * n * m / 2`` — the paper's ``2P``-fold saving.
+    """
+    if write_ports < 1 or read_ports < 1:
+        raise ValueError("port counts must be >= 1")
+    p = write_ports
+    bank_depth = max(-(-2 * depth // p), 1)
+    rm_replicas = max(-(-read_ports // 2), 1)  # step 2: n/2 copies
+    rm_groups = max(-(-p // 2), 1)  # step 3: m/2 groups
+    replicas = rm_replicas * rm_groups
+    return CacheCost(
+        depth=bank_depth,
+        word_bits=word_bits,
+        replicas=replicas,
+        brams=replicas * _brams_for(bank_depth, word_bits),
+    )
+
+
+class BankedParentCache:
+    """Functional model of the quotient/remainder banked Parent cache.
+
+    ``P`` write ports; port ``i`` owns addresses with ``addr % P == i``.
+    Bank ``i`` stores entry ``addr`` at local row ``addr // P``; a read of
+    ``addr`` muxes bank ``addr % P`` at row ``addr // P``.
+    """
+
+    def __init__(self, depth: int, write_ports: int) -> None:
+        if depth <= 0 or write_ports <= 0:
+            raise ValueError("depth and write_ports must be positive")
+        self.depth = depth
+        self.write_ports = write_ports
+        bank_depth = -(-depth // write_ports)
+        self._banks = np.full((write_ports, bank_depth), -1, dtype=np.int64)
+
+    def write(self, port: int, addrs: np.ndarray, values: np.ndarray) -> None:
+        """Write through port ``port``; raises if the stride rule is broken."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if addrs.shape != values.shape:
+            raise ValueError("addrs and values must match")
+        if not (0 <= port < self.write_ports):
+            raise ValueError("bad write port")
+        if addrs.size and (addrs.min() < 0 or addrs.max() >= self.depth):
+            raise IndexError("address out of range")
+        if np.any(addrs % self.write_ports != port):
+            raise ValueError(
+                f"write port {port} may only write addresses "
+                f"congruent to {port} mod {self.write_ports}"
+            )
+        self._banks[port, addrs // self.write_ports] = values
+
+    def read(self, addrs: np.ndarray) -> np.ndarray:
+        """Quotient/remainder mux: any port may read any address."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if addrs.size and (addrs.min() < 0 or addrs.max() >= self.depth):
+            raise IndexError("address out of range")
+        return self._banks[addrs % self.write_ports, addrs // self.write_ports]

@@ -1,0 +1,41 @@
+"""Shared cache counters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write accounting common to both HDV cache variants."""
+
+    hits: int = 0
+    misses: int = 0
+    cache_writes: int = 0
+    dram_writes: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    @property
+    def dram_accesses(self) -> int:
+        """Off-chip accesses this cache failed to absorb (reads + writes)."""
+        return self.misses + self.dram_writes
+
+    def merged_with(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            cache_writes=self.cache_writes + other.cache_writes,
+            dram_writes=self.dram_writes + other.dram_writes,
+            invalidations=self.invalidations + other.invalidations,
+        )

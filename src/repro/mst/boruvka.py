@@ -1,0 +1,201 @@
+"""Instrumented vectorized Borůvka (Algorithm 1 of the paper).
+
+This is the *naive* algorithm the paper profiles in Section III: every
+iteration scans every edge (no pruning), removes mirrored minimum edges,
+hooks components and pointer-jumps the Parent array.  It doubles as:
+
+* the functional reference for the AMST simulator (identical tie-breaks,
+  so identical forests);
+* the source of the Fig 3a stage breakdown and Fig 3c useless-computation
+  ratios, via the per-stage wall-clock and operation counters it returns.
+
+Tie-breaking: the minimum edge of a component is the one minimizing
+``(weight, eid)``.  Under this rule mutual selection between two
+components implies they picked the *same* undirected edge, so mirror
+detection (Stage 2) reduces to an eid equality check — see the proof
+sketch in ``tests/mst/test_boruvka.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .result import MSTResult
+
+__all__ = ["boruvka", "BoruvkaStats", "IterationStats", "STAGE_NAMES"]
+
+STAGE_NAMES = (
+    "S1 find-min-edge",
+    "S2 remove-repeated",
+    "S3 append-merge",
+    "S4 compress",
+)
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Per-iteration instrumentation (drives Fig 3c)."""
+
+    iteration: int
+    num_components_before: int
+    half_edges_scanned: int
+    intra_half_edges: int
+    edges_appended: int
+    compress_rounds: int
+
+    @property
+    def useless_ratio(self) -> float:
+        """Fraction of scanned edges that were internal (useless work)."""
+        if self.half_edges_scanned == 0:
+            return 0.0
+        return self.intra_half_edges / self.half_edges_scanned
+
+
+@dataclass
+class BoruvkaStats:
+    """Aggregate instrumentation (drives Fig 3a)."""
+
+    stage_seconds: np.ndarray = field(
+        default_factory=lambda: np.zeros(4, dtype=np.float64)
+    )
+    stage_ops: np.ndarray = field(
+        default_factory=lambda: np.zeros(4, dtype=np.int64)
+    )
+    iterations: list[IterationStats] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return float(self.stage_seconds.sum())
+
+    def stage_fractions(self) -> np.ndarray:
+        """Per-stage share of wall time; Fig 3a reports ~82/4/2/12 %."""
+        total = self.stage_seconds.sum()
+        if total == 0.0:
+            return np.zeros(4)
+        return self.stage_seconds / total
+
+    def stage_op_fractions(self) -> np.ndarray:
+        """Machine-independent share of per-stage operations."""
+        total = self.stage_ops.sum()
+        if total == 0:
+            return np.zeros(4)
+        return self.stage_ops / total
+
+    def average_useless_ratio(self) -> float:
+        """Mean intra-edge ratio across iterations (paper: 76.08 %)."""
+        if not self.iterations:
+            return 0.0
+        return float(np.mean([it.useless_ratio for it in self.iterations]))
+
+
+def boruvka(graph: CSRGraph, *, max_iterations: int | None = None) -> MSTResult:
+    """Compute a minimum spanning forest with instrumented Borůvka.
+
+    Returns an :class:`MSTResult` whose ``extras["stats"]`` holds a
+    :class:`BoruvkaStats`.
+    """
+    n = graph.num_vertices
+    src = graph.src_expanded()
+    dst, weight, eid = graph.dst, graph.weight, graph.eid
+    parent = np.arange(n, dtype=np.int64)
+    stats = BoruvkaStats()
+    mst_chunks: list[np.ndarray] = []
+    total_weight = 0.0
+    iteration = 0
+    limit = max_iterations if max_iterations is not None else 2 * max(n, 1)
+
+    # Full-size scratch arrays reused across iterations (guide: avoid
+    # reallocating big arrays inside the loop).
+    best_eid = np.full(n, -1, dtype=np.int64)
+    best_target = np.full(n, -1, dtype=np.int64)
+    best_weight = np.full(n, np.inf, dtype=np.float64)
+
+    while iteration < limit:
+        # ---- Stage 1: find the minimum external edge per component ----
+        t0 = time.perf_counter()
+        comp_u = parent[src]
+        comp_v = parent[dst]
+        external = comp_u != comp_v
+        ext_idx = np.flatnonzero(external)
+        num_components = int(
+            np.count_nonzero(parent == np.arange(n, dtype=np.int64))
+        )
+        if ext_idx.size == 0:
+            break
+        cu = comp_u[ext_idx]
+        ww = weight[ext_idx]
+        ee = eid[ext_idx]
+        order = np.lexsort((ee, ww, cu))
+        cu_sorted = cu[order]
+        first = np.ones(order.size, dtype=bool)
+        first[1:] = cu_sorted[1:] != cu_sorted[:-1]
+        sel = ext_idx[order[first]]
+        comps = comp_u[sel]
+        best_eid[comps] = eid[sel]
+        best_target[comps] = comp_v[sel]
+        best_weight[comps] = weight[sel]
+        t1 = time.perf_counter()
+
+        # ---- Stage 2: remove repeated (mirrored) minimum edges ----
+        tgt = best_target[comps]
+        mirror = (best_eid[tgt] == best_eid[comps]) & (comps < tgt)
+        t2 = time.perf_counter()
+
+        # ---- Stage 3: append surviving edges, hook components ----
+        keep = comps[~mirror]
+        mst_chunks.append(best_eid[keep].copy())
+        total_weight += float(best_weight[keep].sum())
+        parent[keep] = best_target[keep]
+        t3 = time.perf_counter()
+
+        # ---- Stage 4: compress the parent forest ----
+        rounds = 0
+        while True:
+            nxt = parent[parent]
+            rounds += 1
+            if np.array_equal(nxt, parent):
+                break
+            parent = nxt
+        t4 = time.perf_counter()
+
+        # ---- bookkeeping ----
+        scanned = src.size  # the naive algorithm touches every half-edge
+        intra = scanned - ext_idx.size
+        stats.stage_seconds += (t1 - t0, t2 - t1, t3 - t2, t4 - t3)
+        stats.stage_ops += (
+            scanned,  # S1: one edge examination per half-edge
+            comps.size,  # S2: one mirror check per candidate component
+            keep.size,  # S3: one append+hook per surviving edge
+            rounds * n,  # S4: naive compress touches every vertex per round
+        )
+        stats.iterations.append(
+            IterationStats(
+                iteration=iteration,
+                num_components_before=num_components,
+                half_edges_scanned=scanned,
+                intra_half_edges=intra,
+                edges_appended=int(keep.size),
+                compress_rounds=rounds,
+            )
+        )
+        iteration += 1
+        # reset scratch for selected components only (cheaper than refill)
+        best_eid[comps] = -1
+        best_target[comps] = -1
+        best_weight[comps] = np.inf
+
+    edge_ids = (
+        np.concatenate(mst_chunks) if mst_chunks else np.empty(0, np.int64)
+    )
+    num_components = n - edge_ids.size
+    return MSTResult(
+        edge_ids=edge_ids,
+        total_weight=total_weight,
+        num_components=num_components,
+        iterations=iteration,
+        extras={"stats": stats},
+    )

@@ -1,0 +1,64 @@
+"""Prim's algorithm (binary heap, lazy deletion).
+
+Kept as a second independent ground truth and as the sequential
+comparator the related FPGA work [21] accelerates; its inherently serial
+frontier is the reason the paper builds on Borůvka instead
+(Section II-B).  Handles disconnected graphs by restarting from every
+unvisited vertex, producing a spanning forest.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .result import MSTResult
+
+__all__ = ["prim"]
+
+
+def prim(graph: CSRGraph) -> MSTResult:
+    """Minimum spanning forest via Prim with a lazy binary heap."""
+    n = graph.num_vertices
+    visited = np.zeros(n, dtype=bool)
+    chosen: list[int] = []
+    total = 0.0
+    num_components = 0
+    indptr, dst, weight, eid = (
+        graph.indptr,
+        graph.dst,
+        graph.weight,
+        graph.eid,
+    )
+
+    for start in range(n):
+        if visited[start]:
+            continue
+        num_components += 1
+        visited[start] = True
+        heap: list[tuple[float, int, int]] = []
+        _push_edges(heap, start, indptr, dst, weight, eid, visited)
+        while heap:
+            w, e, v = heapq.heappop(heap)
+            if visited[v]:
+                continue
+            visited[v] = True
+            chosen.append(e)
+            total += w
+            _push_edges(heap, v, indptr, dst, weight, eid, visited)
+
+    return MSTResult(
+        edge_ids=np.array(chosen, dtype=np.int64),
+        total_weight=total,
+        num_components=num_components,
+    )
+
+
+def _push_edges(heap, v, indptr, dst, weight, eid, visited) -> None:
+    s, e = indptr[v], indptr[v + 1]
+    for k in range(s, e):
+        d = int(dst[k])
+        if not visited[d]:
+            heapq.heappush(heap, (float(weight[k]), int(eid[k]), d))

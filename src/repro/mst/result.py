@@ -1,0 +1,57 @@
+"""Common MST result container shared by every algorithm and the
+AMST simulator, so validators and benchmarks treat them uniformly."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MSTResult"]
+
+
+@dataclass(frozen=True)
+class MSTResult:
+    """A minimum spanning forest.
+
+    Attributes
+    ----------
+    edge_ids:
+        Undirected edge ids (into the source graph's eid space) chosen for
+        the forest, sorted ascending for canonical comparison.
+    total_weight:
+        Sum of selected edge weights.
+    num_components:
+        Number of trees in the forest (1 for a connected graph).
+    iterations:
+        Number of outer-loop iterations (Borůvka-family only, else 0).
+    extras:
+        Algorithm-specific instrumentation (stage timings, op counts...).
+    """
+
+    edge_ids: np.ndarray
+    total_weight: float
+    num_components: int
+    iterations: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        eids = np.asarray(self.edge_ids, dtype=np.int64)
+        eids = np.sort(eids)
+        if eids.size > 1 and np.any(eids[1:] == eids[:-1]):
+            raise ValueError("duplicate edge id in MST result")
+        object.__setattr__(self, "edge_ids", eids)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_ids.size)
+
+    def same_forest_weight(self, other: "MSTResult", rtol: float = 1e-9) -> bool:
+        """Weight-level equivalence (MSTs may differ under ties)."""
+        return (
+            self.num_edges == other.num_edges
+            and self.num_components == other.num_components
+            and bool(
+                np.isclose(self.total_weight, other.total_weight, rtol=rtol)
+            )
+        )

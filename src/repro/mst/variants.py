@@ -1,0 +1,69 @@
+"""Spanning-tree problem variants layered on the core solvers.
+
+The accelerator computes *minimum* spanning forests; these adapters map
+related problems onto it (or onto the reference solvers) by weight
+transformation — the standard way an MST engine is deployed for maximum
+spanning trees (e.g. graph sparsification, correlation clustering) and
+for bottleneck queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .certificate import _root_forest, max_edge_on_path
+from .kruskal import kruskal
+from .result import MSTResult
+
+__all__ = ["maximum_spanning_forest", "minimax_path_weight"]
+
+
+def maximum_spanning_forest(
+    graph: CSRGraph, solver=None
+) -> MSTResult:
+    """Maximum-weight spanning forest via weight negation.
+
+    ``solver`` is any callable mapping a graph to an
+    :class:`MSTResult` (defaults to Kruskal; pass
+    ``lambda g: Amst().run(g).result`` to use the accelerator).
+    """
+    solver = solver if solver is not None else kruskal
+    _, _, w = graph.edge_endpoints()
+    negated = graph.reweight(-w)
+    res = solver(negated)
+    true_weight = float(w[res.edge_ids].sum())
+    return MSTResult(
+        edge_ids=res.edge_ids,
+        total_weight=true_weight,
+        num_components=res.num_components,
+        iterations=res.iterations,
+    )
+
+
+def minimax_path_weight(
+    graph: CSRGraph, pairs: np.ndarray, forest: MSTResult | None = None
+) -> np.ndarray:
+    """Bottleneck (minimax) path weight for vertex pairs.
+
+    The minimax path between two vertices — the path minimizing the
+    maximum edge weight — always runs along the minimum spanning forest,
+    so each query reduces to a path-maximum on the MST.  Returns ``inf``
+    for pairs in different components.  ``pairs`` is ``(k, 2)`` int.
+    """
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError("pairs must have shape (k, 2)")
+    if forest is None:
+        forest = kruskal(graph)
+    parent, pw, depth = _root_forest(graph, forest.edge_ids)
+    out = np.empty(pairs.shape[0], dtype=np.float64)
+    for i, (a, b) in enumerate(pairs):
+        if a == b:
+            out[i] = 0.0
+            continue
+        try:
+            out[i] = max_edge_on_path(int(a), int(b), parent, pw, depth)
+        except ValueError:
+            out[i] = np.inf
+    return out

@@ -1,0 +1,100 @@
+"""Unit tests for the CPU/GPU cost models."""
+
+import pytest
+
+from repro.baselines import (
+    TITAN_V,
+    XEON_4114,
+    CpuSpec,
+    GpuSpec,
+    cpu_time_energy,
+    gpu_time_energy,
+)
+from repro.baselines.platform import _miss_rate, scaled_spec
+from repro.baselines.workload import WorkloadCounts
+
+
+def _counts(**kw):
+    base = dict(iterations=4, edges_scanned=100_000, random_reads=200_000,
+                atomic_updates=5_000, sequential_ops=20_000,
+                compress_ops=40_000)
+    base.update(kw)
+    return WorkloadCounts(**base)
+
+
+class TestMissRate:
+    def test_resident_set_floor(self):
+        assert _miss_rate(1000, 1_000_000) == 0.05
+
+    def test_oversized_working_set(self):
+        assert _miss_rate(10_000_000, 1_000_000) == pytest.approx(0.9)
+
+    def test_zero_working_set(self):
+        assert _miss_rate(0, 100) == 0.0
+
+
+class TestCpuModel:
+    def test_time_components_positive(self):
+        r = cpu_time_energy(_counts(), 50_000, 100_000)
+        assert r.seconds > 0
+        assert r.compute_seconds > 0
+        assert r.memory_seconds > 0
+        assert r.atomic_seconds > 0
+        assert r.seconds >= r.atomic_seconds
+
+    def test_atomic_share_bounds(self):
+        r = cpu_time_energy(_counts(), 50_000, 100_000)
+        assert 0.0 <= r.atomic_share <= 1.0
+
+    def test_meps_and_energy(self):
+        r = cpu_time_energy(_counts(), 50_000, 100_000)
+        assert r.meps == pytest.approx(100_000 / r.seconds / 1e6)
+        assert r.energy_joules == pytest.approx(r.seconds * r.power_watts)
+
+    def test_bigger_working_set_is_slower(self):
+        small = cpu_time_energy(_counts(), 1_000, 100_000)
+        big = cpu_time_energy(_counts(), 50_000_000, 100_000)
+        assert big.seconds > small.seconds
+
+
+class TestGpuModel:
+    def test_time_components_positive(self):
+        r = gpu_time_energy(_counts(), 50_000, 100_000)
+        assert r.seconds > 0
+        assert r.memory_seconds > 0
+
+    def test_launch_overhead_dominates_tiny_runs(self):
+        tiny = gpu_time_energy(
+            _counts(edges_scanned=100, random_reads=200, atomic_updates=5,
+                    sequential_ops=10, compress_ops=20),
+            100, 100)
+        # 4 iterations x 12 launches x 8us each
+        assert tiny.seconds >= 4 * 12 * 8e-6
+
+    def test_gpu_outruns_cpu_on_big_streams(self):
+        counts = _counts(edges_scanned=50_000_000,
+                         random_reads=100_000_000)
+        cpu = cpu_time_energy(counts, 4_000_000, 50_000_000)
+        gpu = gpu_time_energy(counts, 4_000_000, 50_000_000)
+        assert gpu.seconds < cpu.seconds
+
+
+class TestScaledSpec:
+    def test_cpu_llc_scaled(self):
+        s = scaled_spec(XEON_4114, 0.01)
+        assert isinstance(s, CpuSpec)
+        assert s.llc_bytes == int(XEON_4114.llc_bytes * 0.01)
+        assert s.cores == XEON_4114.cores
+
+    def test_gpu_l2_scaled(self):
+        s = scaled_spec(TITAN_V, 0.5)
+        assert isinstance(s, GpuSpec)
+        assert s.l2_bytes == int(TITAN_V.l2_bytes * 0.5)
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            scaled_spec(XEON_4114, 0)
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            scaled_spec("xeon", 0.5)

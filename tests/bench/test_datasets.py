@@ -1,0 +1,58 @@
+"""Unit tests for the Table I dataset suite."""
+
+import pytest
+
+from repro.bench import SUITE, default_cache_vertices, load, suite
+
+
+class TestSuite:
+    def test_ten_datasets(self):
+        assert len(SUITE) == 10
+        assert [d.key for d in SUITE] == [
+            "EF", "GD", "CD", "CL", "RC", "RP", "RT", "UR", "CF", "UU"]
+
+    def test_load_by_key(self):
+        g = load("EF", size=0.5)
+        assert g.num_vertices > 0
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load("XX")
+
+    def test_deterministic(self):
+        assert load("GD", seed=3, size=0.25) == load("GD", seed=3, size=0.25)
+
+    def test_seed_changes_graph(self):
+        assert load("GD", seed=1, size=0.25) != load("GD", seed=2, size=0.25)
+
+    def test_size_scales_vertices(self):
+        small = load("CL", size=0.25)
+        big = load("CL", size=1.0)
+        assert big.num_vertices > small.num_vertices
+
+    def test_relative_order_preserved(self):
+        graphs = suite(size=0.25)
+        assert graphs["EF"].num_vertices < graphs["UR"].num_vertices
+
+    def test_road_category_low_degree(self):
+        graphs = suite(size=0.25, keys=("RC", "RP", "RT", "UR"))
+        for key, g in graphs.items():
+            avg = 2 * g.num_edges / g.num_vertices
+            assert avg < 5.0, key
+
+    def test_social_category_skewed(self):
+        g = load("CF", size=0.5)
+        assert g.degrees().max() > 10 * g.degrees().mean()
+
+    def test_subset_keys(self):
+        graphs = suite(size=0.25, keys=("EF", "RC"))
+        assert set(graphs) == {"EF", "RC"}
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            load("EF", size=0)
+
+    def test_default_cache_scales(self):
+        assert default_cache_vertices(1.0) == 4096
+        assert default_cache_vertices(2.0) == 8192
+        assert default_cache_vertices(0.001) == 64

@@ -1,0 +1,53 @@
+"""Unit tests for the experiment runner helpers."""
+
+import pytest
+
+from repro.bench import ExperimentResult, format_table, geomean
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([2.0, 8.0, 0.0, -1.0]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+
+class TestExperimentResult:
+    def _res(self):
+        return ExperimentResult("Fig X", "demo", ("A", "B"))
+
+    def test_add_row(self):
+        r = self._res()
+        r.add_row(1, 2.5)
+        assert r.rows == [(1, 2.5)]
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="expected 2"):
+            self._res().add_row(1)
+
+    def test_column_extraction(self):
+        r = self._res()
+        r.add_row(1, 10.0)
+        r.add_row(2, 20.0)
+        assert r.column("B") == [10.0, 20.0]
+
+    def test_to_text_contains_everything(self):
+        r = self._res()
+        r.add_row("x", 1234.5)
+        r.add_note("hello")
+        text = r.to_text()
+        assert "Fig X" in text and "demo" in text
+        assert "1,234" in text or "1234" in text
+        assert "note: hello" in text
+
+    def test_format_table_empty(self):
+        text = format_table("t", ("A",), [])
+        assert "A" in text
+
+    def test_float_formatting(self):
+        text = format_table("t", ("A",), [(0.123456,)])
+        assert "0.123" in text

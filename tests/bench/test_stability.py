@@ -1,0 +1,13 @@
+"""Unit test for the seed-stability harness."""
+
+from repro.bench import seed_stability
+
+
+def test_seed_stability_columns_and_wins():
+    res = seed_stability(keys=("EF",), seeds=(0, 1), size=0.25,
+                         cache_vertices=128)
+    assert len(res.rows) == 1
+    row = res.rows[0]
+    assert row[0] == "EF"
+    assert row[1] > 0  # MEPS mean
+    assert row[6] in (True, False)

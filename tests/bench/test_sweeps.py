@@ -1,0 +1,107 @@
+"""Unit tests for the design-space sweeps."""
+
+import pytest
+
+from repro.bench import (
+    sweep_cache_capacity,
+    sweep_cache_organization,
+    sweep_conflict_resolution,
+    sweep_pipeline_components,
+    sweep_reordering,
+)
+from repro.graph import rmat, road_lattice
+
+
+@pytest.fixture(scope="module")
+def social():
+    return rmat(10, 12, rng=3)
+
+
+@pytest.fixture(scope="module")
+def road():
+    return road_lattice(40, 40, rng=4)
+
+
+class TestCacheCapacity:
+    def test_dram_monotone_nonincreasing(self, social):
+        res = sweep_cache_capacity(social, (0, 128, 512, 2048),
+                                   parallelism=8)
+        dram = res.column("DRAM blocks")
+        assert all(b <= a for a, b in zip(dram, dram[1:]))
+
+    def test_hit_rate_grows(self, social):
+        res = sweep_cache_capacity(social, (128, 2048), parallelism=8)
+        hits = res.column("Parent hit %")
+        assert hits[1] >= hits[0]
+
+
+class TestCacheOrganization:
+    def test_three_variants(self, social):
+        res = sweep_cache_organization(social, cache_vertices=256,
+                                       parallelism=8)
+        assert res.column("Organization") == ["none", "direct", "hash"]
+
+    def test_any_cache_beats_none(self, social):
+        res = sweep_cache_organization(social, cache_vertices=256,
+                                       parallelism=8)
+        rows = {r[0]: r for r in res.rows}
+        assert rows["direct"][1] < rows["none"][1]
+        assert rows["hash"][2] >= rows["direct"][2] - 5.0  # hit % similar
+
+
+class TestConflictResolution:
+    def test_penalty_grows_with_parallelism(self, road):
+        res = sweep_conflict_resolution(road, (2, 16), cache_vertices=256)
+        penalties = res.column("Atomic penalty %")
+        assert penalties[-1] > penalties[0]
+        assert penalties[-1] > 0.0
+
+
+class TestPipelineComponents:
+    def test_both_is_best(self, road):
+        res = sweep_pipeline_components(road, cache_vertices=256,
+                                        parallelism=8)
+        speedups = dict(zip(res.column("Variant"),
+                            res.column("Speedup vs serial")))
+        assert speedups["serial"] == 1.0
+        assert speedups["both"] >= max(speedups["merge only"],
+                                       speedups["overlap only"])
+
+    def test_each_component_helps(self, road):
+        res = sweep_pipeline_components(road, cache_vertices=256,
+                                        parallelism=8)
+        speedups = dict(zip(res.column("Variant"),
+                            res.column("Speedup vs serial")))
+        assert speedups["merge only"] >= 1.0
+        assert speedups["overlap only"] >= 1.0
+
+
+class TestReordering:
+    def test_degree_sort_maximizes_hits(self, social):
+        res = sweep_reordering(social, cache_vertices=128, parallelism=8)
+        hits = dict(zip(res.column("Strategy"),
+                        res.column("Parent hit %")))
+        assert hits["sort"] >= hits["identity"]
+        assert hits["dbg"] >= hits["identity"] - 2.0
+
+
+class TestWeightDistributions:
+    def test_all_distributions_valid_and_reported(self, social):
+        from repro.bench import sweep_weight_distributions
+
+        res = sweep_weight_distributions(social, cache_vertices=256,
+                                         parallelism=8)
+        assert len(res.rows) == 4
+        names = res.column("Distribution")
+        assert "unit" in names and "uniform-4B" in names
+        assert all(m > 0 for m in res.column("MEPS"))
+
+    def test_unit_weights_single_iteration_on_connected_graph(self):
+        from repro.bench import sweep_weight_distributions
+        from repro.graph import complete_graph
+
+        res = sweep_weight_distributions(complete_graph(32, rng=0),
+                                         cache_vertices=64, parallelism=4)
+        iters = dict(zip(res.column("Distribution"),
+                         res.column("Iterations")))
+        assert iters["unit"] == 1

@@ -1,0 +1,78 @@
+"""Shared fixtures: a menagerie of small graphs every suite reuses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    from_edges,
+    paper_example,
+    path_graph,
+    rmat,
+    road_lattice,
+    star_graph,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_graph():
+    """4 vertices, unique weights, hand-checkable MST (weight 1+2+3)."""
+    return from_edges(
+        4,
+        np.array([0, 0, 1, 2, 1]),
+        np.array([1, 2, 2, 3, 3]),
+        np.array([1.0, 4.0, 2.0, 3.0, 5.0]),
+    )
+
+
+@pytest.fixture
+def paper_graph():
+    return paper_example()
+
+
+@pytest.fixture
+def rmat_graph():
+    return rmat(9, 8, rng=1)
+
+
+@pytest.fixture
+def road_graph():
+    return road_lattice(25, 25, rng=2)
+
+
+@pytest.fixture
+def forest_graph():
+    """Two components plus one isolated vertex."""
+    u = np.array([0, 1, 3, 4])
+    v = np.array([1, 2, 4, 5])
+    w = np.array([1.0, 2.0, 3.0, 4.0])
+    return from_edges(7, u, v, w)
+
+
+def graph_zoo(seed: int = 0):
+    """A diverse list of (name, graph) pairs for correctness matrices."""
+    return [
+        ("path", path_graph(10)),
+        ("cycle", cycle_graph(8)),
+        ("star", star_graph(12)),
+        ("complete", complete_graph(9, rng=seed)),
+        ("paper", paper_example()),
+        ("rmat", rmat(8, 6, rng=seed)),
+        ("road", road_lattice(14, 14, rng=seed)),
+        ("er", erdos_renyi(150, 400, rng=seed)),
+        ("er-sparse", erdos_renyi(200, 120, rng=seed + 1)),
+    ]
+
+
+@pytest.fixture
+def zoo():
+    return graph_zoo()

@@ -1,0 +1,69 @@
+"""Unit tests for AmstConfig."""
+
+import pytest
+
+from repro.core import AmstConfig, CycleCosts
+
+
+class TestPresets:
+    def test_full_defaults(self):
+        cfg = AmstConfig.full()
+        assert cfg.parallelism == 16
+        assert cfg.use_hdc and cfg.hash_cache
+        assert cfg.skip_intra_edges and cfg.skip_intra_vertices
+        assert cfg.sort_edges_by_weight and cfg.use_sorting_network
+        assert cfg.pipeline_optimized
+
+    def test_baseline_everything_off(self):
+        cfg = AmstConfig.baseline()
+        assert cfg.parallelism == 1
+        assert not cfg.use_hdc
+        assert not cfg.skip_intra_edges
+        assert not cfg.sort_edges_by_weight
+        assert not cfg.pipeline_optimized
+
+    def test_with_updates(self):
+        cfg = AmstConfig.full().with_(parallelism=4)
+        assert cfg.parallelism == 4
+        assert cfg.use_hdc  # other fields preserved
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            AmstConfig.full().parallelism = 3
+
+
+class TestValidation:
+    def test_parallelism_power_of_two(self):
+        with pytest.raises(ValueError, match="power of two"):
+            AmstConfig(parallelism=3)
+
+    def test_parallelism_positive(self):
+        with pytest.raises(ValueError):
+            AmstConfig(parallelism=0)
+
+    def test_negative_cache(self):
+        with pytest.raises(ValueError):
+            AmstConfig(cache_vertices=-1)
+
+    def test_hash_needs_capacity(self):
+        with pytest.raises(ValueError, match="hash cache"):
+            AmstConfig(cache_vertices=0, use_hdc=True, hash_cache=True)
+
+    def test_zero_cache_ok_without_hdc(self):
+        cfg = AmstConfig(cache_vertices=0, use_hdc=False, hash_cache=False)
+        assert cfg.cache_vertices == 0
+
+    def test_bad_frequency(self):
+        with pytest.raises(ValueError):
+            AmstConfig(frequency_mhz=0)
+
+
+class TestDerived:
+    def test_cycles_to_seconds(self):
+        cfg = AmstConfig.full().with_(frequency_mhz=200.0)
+        assert cfg.cycles_to_seconds(2e8) == pytest.approx(1.0)
+
+    def test_costs_defaults(self):
+        c = CycleCosts()
+        assert c.cache_access == 1.0
+        assert c.dram_random_block > c.dram_seq_block

@@ -1,0 +1,44 @@
+"""Unit tests for the event ledger."""
+
+from repro.core import EventLog
+from repro.core.events import IterationEvents
+
+
+class TestIterationEvents:
+    def test_add_get(self):
+        ev = IterationEvents(0)
+        ev.add("fm.tasks", 3)
+        ev.add("fm.tasks", 2)
+        assert ev.get("fm.tasks") == 5
+
+    def test_missing_is_zero(self):
+        assert IterationEvents(0).get("nope") == 0
+
+    def test_prefix_total(self):
+        ev = IterationEvents(0)
+        ev.add("fm.a", 1)
+        ev.add("fm.b", 2)
+        ev.add("cm.a", 4)
+        assert ev.total("fm.") == 3
+
+
+class TestEventLog:
+    def test_new_iteration_numbers(self):
+        log = EventLog()
+        a = log.new_iteration()
+        b = log.new_iteration()
+        assert (a.iteration, b.iteration) == (0, 1)
+        assert log.num_iterations == 2
+
+    def test_total_exact_and_prefix(self):
+        log = EventLog()
+        log.new_iteration().add("fm.tasks", 2)
+        log.new_iteration().add("fm.tasks", 3)
+        assert log.total("fm.tasks") == 5
+        assert log.total("fm.") == 5
+
+    def test_grand_totals(self):
+        log = EventLog()
+        log.new_iteration().add("x", 1)
+        log.new_iteration().add("x", 2)
+        assert log.grand_totals()["x"] == 3

@@ -1,0 +1,128 @@
+"""Failure-injection tests.
+
+Two invariants a hardware team relies on:
+
+1. **Cache behaviour cannot affect correctness** — the caches are a
+   performance structure; even a cache that *lies about hits* must not
+   change the forest (only the event counts).  A `LyingCache` wrapper
+   injects random hit/miss corruption and the forest is re-validated.
+2. **The validators catch seeded functional bugs** — corrupting the
+   intra-edge flags (marking a *external* edge intra) makes the simulator
+   produce a non-minimal forest, and `validate_mst` /
+   `certify_minimum_forest` must both detect it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Amst, AmstConfig
+from repro.core.state import SimState
+from repro.graph import preprocess, rmat
+from repro.mst import certify_minimum_forest, kruskal, validate_mst
+
+
+class LyingCache:
+    """Wraps a cache and randomly corrupts its hit/miss answers."""
+
+    def __init__(self, inner, rng):
+        self._inner = inner
+        self._rng = rng
+        self.stats = inner.stats
+
+    def lookup(self, ids):
+        hits = np.asarray(self._inner.lookup(ids)).copy()
+        flip = self._rng.random(hits.size) < 0.3
+        hits[flip] = ~hits[flip]
+        return hits
+
+    def write(self, ids):
+        wrote = np.asarray(self._inner.write(ids)).copy()
+        flip = self._rng.random(wrote.size) < 0.3
+        wrote[flip] = ~wrote[flip]
+        return wrote
+
+    def mark_dead(self, ids):
+        self._inner.mark_dead(ids)
+
+    def contains(self, ids):
+        return self._inner.contains(ids)
+
+    def utilization(self):
+        return self._inner.utilization()
+
+
+class TestCacheFaultTolerance:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_lying_caches_cannot_corrupt_the_forest(self, seed):
+        g = rmat(8, 6, rng=seed)
+        cfg = AmstConfig.full(8, cache_vertices=64)
+        amst = Amst(cfg)
+
+        out_honest = amst.run(g)
+
+        # monkey-patch the state factory to wrap both caches
+        rng = np.random.default_rng(seed)
+        original = SimState.initial.__func__
+
+        def lying_initial(cls, graph, config):
+            st = original(cls, graph, config)
+            st.parent_cache = LyingCache(st.parent_cache, rng)
+            st.minedge_cache = LyingCache(st.minedge_cache, rng)
+            return st
+
+        try:
+            SimState.initial = classmethod(lying_initial)
+            out_lied = amst.run(g)
+        finally:
+            SimState.initial = classmethod(original)
+
+        # identical forest, despite corrupted cache responses
+        assert np.array_equal(
+            out_lied.result.edge_ids, out_honest.result.edge_ids
+        )
+        validate_mst(g, out_lied.result, reference=kruskal(g))
+
+
+class TestValidatorsCatchSeededBugs:
+    def test_corrupted_ie_flags_are_detected(self):
+        """Marking live external edges as intra breaks minimality, and
+        every validator layer must notice."""
+        g = rmat(8, 6, rng=3)
+        pre = preprocess(g, reorder="sort", sort_edges_by_weight=True)
+        cfg = AmstConfig.full(4, cache_vertices=64)
+
+        # sabotage: pre-mark the globally lightest edges as "intra"
+        state_holder = {}
+        original = SimState.initial.__func__
+
+        def sabotaged_initial(cls, graph, config):
+            st = original(cls, graph, config)
+            lightest = np.argsort(graph.weight)[: graph.num_half_edges // 4]
+            st.ie[lightest] = True
+            state_holder["st"] = st
+            return st
+
+        try:
+            SimState.initial = classmethod(sabotaged_initial)
+            out = Amst(cfg).run(g, preprocessed=pre)
+        finally:
+            SimState.initial = classmethod(original)
+
+        ref = kruskal(g)
+        # the sabotage must actually change the outcome...
+        assert out.result.total_weight > ref.total_weight
+        # ...and both validators must flag it
+        with pytest.raises(AssertionError):
+            validate_mst(g, out.result, reference=ref)
+        with pytest.raises(AssertionError):
+            certify_minimum_forest(g, out.result.edge_ids)
+
+    def test_weight_tampering_detected(self):
+        g = rmat(7, 5, rng=4)
+        good = kruskal(g)
+        from repro.mst import MSTResult
+
+        tampered = MSTResult(good.edge_ids, good.total_weight * 0.5,
+                             good.num_components)
+        with pytest.raises(AssertionError, match="claimed weight"):
+            validate_mst(g, tampered)

@@ -1,0 +1,53 @@
+"""Unit tests for the Fig 16 resource model."""
+
+import pytest
+
+from repro.core import AmstConfig, U280, estimate_resources
+
+
+class TestResourceModel:
+    def test_monotone_in_parallelism(self):
+        prev = None
+        for p in (1, 2, 4, 8, 16):
+            rr = estimate_resources(AmstConfig.full(p))
+            if prev is not None:
+                assert rr.luts > prev.luts
+                assert rr.registers > prev.registers
+                assert rr.frequency_mhz < prev.frequency_mhz
+            prev = rr
+
+    def test_fits_u280_at_all_paper_points(self):
+        for p in (1, 2, 4, 8, 16):
+            assert estimate_resources(AmstConfig.full(p)).fits()
+
+    def test_frequency_above_210(self):
+        for p in (1, 2, 4, 8, 16):
+            assert estimate_resources(AmstConfig.full(p)).frequency_mhz > 210
+
+    def test_p16_matches_paper_ballpark(self):
+        u = estimate_resources(AmstConfig.full(16)).utilization()
+        assert u["REG"] == pytest.approx(0.4836, abs=0.05)
+        assert u["LUT"] == pytest.approx(0.7903, abs=0.05)
+        assert u["BRAM"] == pytest.approx(0.9321, abs=0.05)
+        assert u["URAM"] == pytest.approx(0.8764, abs=0.05)
+
+    def test_cache_dominates_bram(self):
+        small = estimate_resources(
+            AmstConfig.full(16, cache_vertices=1 << 12))
+        big = estimate_resources(AmstConfig.full(16, cache_vertices=1 << 19))
+        assert big.bram36 > small.bram36
+        assert big.uram > small.uram
+
+    def test_no_hdc_drops_cache_cost(self):
+        with_c = estimate_resources(AmstConfig.full(16))
+        without = estimate_resources(
+            AmstConfig.full(16).with_(use_hdc=False, hash_cache=False))
+        assert without.bram36 < with_c.bram36
+
+    def test_utilization_keys(self):
+        u = estimate_resources(AmstConfig.full(4)).utilization()
+        assert set(u) == {"LUT", "REG", "BRAM", "URAM"}
+
+    def test_device_capacity(self):
+        assert U280.luts > 1_000_000
+        assert U280.bram36 == 2016

@@ -1,0 +1,91 @@
+"""Unit tests for the multi-FPGA scale-out extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import AmstConfig, partition_vertices, run_scale_out
+from repro.graph import rmat, road_lattice
+from repro.mst import kruskal, validate_mst
+
+CFG = AmstConfig.full(8, cache_vertices=256)
+
+
+class TestPartition:
+    def test_block_contiguous(self):
+        part = partition_vertices(10, 2, strategy="block")
+        assert part.tolist() == [0] * 5 + [1] * 5
+
+    def test_block_uneven(self):
+        part = partition_vertices(10, 3, strategy="block")
+        assert part.max() == 2
+        assert np.bincount(part).sum() == 10
+
+    def test_hash_scatters(self):
+        part = partition_vertices(10, 2, strategy="hash")
+        assert part.tolist() == [0, 1] * 5
+
+    def test_every_vertex_assigned(self):
+        part = partition_vertices(100, 7, strategy="block")
+        assert ((part >= 0) & (part < 7)).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            partition_vertices(10, 0)
+        with pytest.raises(ValueError, match="strategy"):
+            partition_vertices(10, 2, strategy="spectral")
+
+
+class TestScaleOutCorrectness:
+    @pytest.mark.parametrize("cards", [1, 2, 4])
+    @pytest.mark.parametrize("strategy", ["block", "hash"])
+    def test_exact_forest_weight(self, cards, strategy):
+        g = rmat(9, 8, rng=1)
+        ref = kruskal(g)
+        r = run_scale_out(g, cards, CFG, strategy=strategy)
+        validate_mst(g, r.result, reference=ref)
+
+    def test_disconnected_graph(self):
+        g = road_lattice(20, 20, drop_prob=0.3, rng=2)
+        ref = kruskal(g)
+        r = run_scale_out(g, 4, CFG)
+        validate_mst(g, r.result, reference=ref)
+
+    def test_single_card_degenerates_to_plain_run(self):
+        g = rmat(8, 6, rng=3)
+        r = run_scale_out(g, 1, CFG)
+        assert r.report.cut_edges == 0
+        assert r.report.exchange_seconds == 0.0
+        validate_mst(g, r.result, reference=kruskal(g))
+
+    def test_num_cards_recorded(self):
+        g = rmat(8, 6, rng=4)
+        r = run_scale_out(g, 2, CFG)
+        assert r.result.extras["num_cards"] == 2
+        assert r.report.num_cards == 2
+        assert len(r.report.local_outputs) == 2
+
+
+class TestScaleOutModel:
+    def test_local_phase_shrinks_with_cards(self):
+        g = rmat(11, 16, rng=5)
+        one = run_scale_out(g, 1, CFG)
+        four = run_scale_out(g, 4, CFG)
+        assert four.report.local_seconds < one.report.local_seconds
+
+    def test_cut_edges_grow_with_cards(self):
+        g = rmat(10, 8, rng=6)
+        two = run_scale_out(g, 2, CFG)
+        eight = run_scale_out(g, 8, CFG)
+        assert eight.report.cut_edges >= two.report.cut_edges
+
+    def test_energy_accumulates_cards(self):
+        g = rmat(10, 8, rng=7)
+        r = run_scale_out(g, 4, CFG)
+        local = sum(o.report.energy_joules for o in r.report.local_outputs)
+        assert r.report.energy_joules >= local
+
+    def test_block_cuts_fewer_lattice_edges_than_hash(self):
+        g = road_lattice(30, 30, rng=8)
+        block = run_scale_out(g, 4, CFG, strategy="block")
+        hashed = run_scale_out(g, 4, CFG, strategy="hash")
+        assert block.report.cut_edges < hashed.report.cut_edges

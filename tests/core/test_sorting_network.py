@@ -1,0 +1,112 @@
+"""Unit tests for the bitonic sorting network (Section V-C-2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SortingNetwork, bitonic_sort_pairs, bitonic_stage_count
+
+
+class TestBitonicSort:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64])
+    def test_sorts_random_pairs(self, n):
+        rng = np.random.default_rng(n)
+        addrs = rng.integers(0, 10, n)
+        vals = rng.integers(0, 10, n)
+        sa, sv = bitonic_sort_pairs(addrs, vals)
+        order = np.lexsort((vals, addrs))
+        assert np.array_equal(sa, addrs[order])
+        assert np.array_equal(sv, vals[order])
+
+    def test_preserves_multiset(self):
+        rng = np.random.default_rng(9)
+        addrs = rng.integers(0, 5, 32)
+        vals = rng.integers(0, 5, 32)
+        sa, sv = bitonic_sort_pairs(addrs, vals)
+        assert sorted(zip(sa, sv)) == sorted(zip(addrs, vals))
+
+    def test_inputs_not_modified(self):
+        addrs = np.array([3, 1])
+        vals = np.array([0, 0])
+        bitonic_sort_pairs(addrs, vals)
+        assert addrs.tolist() == [3, 1]
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError, match="power of two"):
+            bitonic_sort_pairs(np.arange(3), np.arange(3))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            bitonic_sort_pairs(np.arange(4), np.arange(2))
+
+    def test_empty(self):
+        sa, sv = bitonic_sort_pairs(np.array([]), np.array([]))
+        assert sa.size == 0
+
+
+class TestStageCount:
+    def test_known_values(self):
+        assert bitonic_stage_count(1) == 0
+        assert bitonic_stage_count(2) == 1
+        assert bitonic_stage_count(4) == 3
+        assert bitonic_stage_count(8) == 6
+        assert bitonic_stage_count(16) == 10
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            bitonic_stage_count(6)
+
+
+class TestSortingNetwork:
+    def test_batch_dedup_keeps_min_value(self):
+        net = SortingNetwork(4)
+        addrs, vals = net.process_batch(
+            np.array([7, 7, 2, 7]), np.array([3.0, 1.0, 5.0, 2.0])
+        )
+        assert addrs.tolist() == [2, 7]
+        assert vals.tolist() == [5.0, 1.0]
+
+    def test_conflict_statistics(self):
+        net = SortingNetwork(4)
+        net.process_batch(np.array([1, 1, 1, 2]), np.array([1.0, 2.0, 3.0, 4.0]))
+        assert net.stats.conflicts_merged == 2
+        assert net.stats.inputs == 4
+        assert net.stats.batches == 1
+
+    def test_partial_batch_padding(self):
+        net = SortingNetwork(8)
+        addrs, vals = net.process_batch(np.array([5]), np.array([1.0]))
+        assert addrs.tolist() == [5]
+        assert net.stats.inputs == 1
+
+    def test_empty_batch(self):
+        net = SortingNetwork(4)
+        addrs, _ = net.process_batch(np.array([], dtype=int), np.array([]))
+        assert addrs.size == 0
+
+    def test_oversized_batch_rejected(self):
+        net = SortingNetwork(2)
+        with pytest.raises(ValueError, match="exceeds"):
+            net.process_batch(np.arange(3), np.arange(3.0))
+
+    def test_process_stream_batches(self):
+        net = SortingNetwork(4)
+        addrs = np.array([1, 1, 2, 3, 1, 1, 4, 4, 9])
+        vals = np.arange(9, dtype=float)
+        out_a, out_v = net.process_stream(addrs, vals)
+        assert net.stats.batches == 3
+        # per-batch winners survive; cross-batch duplicates remain
+        assert out_a.tolist() == [1, 2, 3, 1, 4, 9]
+
+    def test_empty_stream(self):
+        net = SortingNetwork(4)
+        a, v = net.process_stream(np.array([], dtype=int), np.array([]))
+        assert a.size == 0 and v.size == 0
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            SortingNetwork(3)
+
+    def test_stage_accounting(self):
+        net = SortingNetwork(8)
+        net.process_batch(np.arange(8), np.arange(8.0))
+        assert net.stats.stages_executed == bitonic_stage_count(8)

@@ -1,0 +1,75 @@
+"""Unit tests for the simulation state."""
+
+import numpy as np
+
+from repro.core import AmstConfig, SimState
+from repro.graph import paper_example
+from repro.memory import DirectHDVCache, HashHDVCache
+
+
+class TestInitial:
+    def test_initial_arrays(self):
+        g = paper_example()
+        st = SimState.initial(g, AmstConfig.full(4, cache_vertices=4))
+        assert np.array_equal(st.parent, np.arange(6))
+        assert not st.iv.any()
+        assert not st.ie.any()
+        assert st.roots.tolist() == list(range(6))
+        assert (st.me_weight == np.inf).all()
+
+    def test_cache_selection_hash(self):
+        g = paper_example()
+        st = SimState.initial(g, AmstConfig.full(4, cache_vertices=4))
+        assert isinstance(st.parent_cache, HashHDVCache)
+
+    def test_cache_selection_direct(self):
+        g = paper_example()
+        cfg = AmstConfig.full(4, cache_vertices=4).with_(hash_cache=False)
+        st = SimState.initial(g, cfg)
+        assert isinstance(st.parent_cache, DirectHDVCache)
+
+    def test_cache_selection_none(self):
+        g = paper_example()
+        st = SimState.initial(g, AmstConfig.baseline(cache_vertices=4))
+        assert isinstance(st.parent_cache, DirectHDVCache)
+        assert st.parent_cache.vt == 0
+
+
+class TestResolution:
+    def _state(self):
+        g = paper_example()
+        return SimState.initial(g, AmstConfig.full(4, cache_vertices=4))
+
+    def test_resolve_identity(self):
+        st = self._state()
+        assert np.array_equal(st.resolve_roots(), np.arange(6))
+
+    def test_resolve_chain(self):
+        st = self._state()
+        st.parent = np.array([1, 2, 2, 3, 3, 5])
+        roots = st.resolve_roots()
+        assert roots.tolist() == [2, 2, 2, 3, 3, 5]
+
+    def test_stale_hops_fresh_is_free(self):
+        st = self._state()
+        st.parent = np.array([2, 2, 2, 3, 3, 5])
+        roots, hops = st.stale_hops(np.array([0, 1, 4]))
+        assert roots.tolist() == [2, 2, 3]
+        assert hops == []
+
+    def test_stale_hops_counts_chain(self):
+        st = self._state()
+        # 0 -> 1 -> 2 (frozen chain), 2 is root
+        st.parent = np.array([1, 2, 2, 3, 3, 5])
+        roots, hops = st.stale_hops(np.array([0]))
+        assert roots.tolist() == [2]
+        assert len(hops) == 1  # one extra hop: read parent[1]
+        assert hops[0].tolist() == [1]
+
+    def test_reset_minedge(self):
+        st = self._state()
+        st.me_weight[2] = 1.0
+        st.me_eid[2] = 3
+        st.reset_minedge()
+        assert (st.me_weight == np.inf).all()
+        assert (st.me_eid == -1).all()

@@ -1,0 +1,129 @@
+"""Unit tests for the vectorized segment utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.utils import (
+    concat_ranges,
+    segment_first,
+    segment_offsets,
+    segmented_count_prefix_minima,
+    segmented_prefix_minima_mask,
+)
+
+
+class TestConcatRanges:
+    def test_basic(self):
+        out = concat_ranges(np.array([0, 5]), np.array([3, 7]))
+        assert out.tolist() == [0, 1, 2, 5, 6]
+
+    def test_empty_segments_skipped(self):
+        out = concat_ranges(np.array([2, 4, 4]), np.array([2, 6, 4]))
+        assert out.tolist() == [4, 5]
+
+    def test_all_empty(self):
+        assert concat_ranges(np.array([1, 2]), np.array([1, 2])).size == 0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError, match=">= starts"):
+            concat_ranges(np.array([3]), np.array([1]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="same shape"):
+            concat_ranges(np.array([0]), np.array([1, 2]))
+
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        starts = rng.integers(0, 50, 20)
+        ends = starts + rng.integers(0, 10, 20)
+        naive = np.concatenate(
+            [np.arange(s, e) for s, e in zip(starts, ends)]
+        ) if (ends > starts).any() else np.empty(0)
+        assert np.array_equal(concat_ranges(starts, ends), naive)
+
+
+class TestSegmentOffsets:
+    def test_basic(self):
+        assert segment_offsets(np.array([2, 0, 3])).tolist() == [0, 2, 2, 5]
+
+    def test_empty(self):
+        assert segment_offsets(np.array([], dtype=int)).tolist() == [0]
+
+
+class TestSegmentFirst:
+    def test_basic(self):
+        mask = np.array([False, True, True, False, False, True])
+        offsets = np.array([0, 3, 6])
+        assert segment_first(mask, offsets).tolist() == [1, 5]
+
+    def test_not_found_returns_segment_end(self):
+        mask = np.array([False, False, True])
+        offsets = np.array([0, 2, 3])
+        assert segment_first(mask, offsets).tolist() == [2, 2]
+
+    def test_empty_segment(self):
+        mask = np.array([True])
+        offsets = np.array([0, 0, 1])
+        assert segment_first(mask, offsets).tolist() == [0, 0]
+
+    def test_no_segments(self):
+        assert segment_first(np.array([], dtype=bool),
+                             np.array([0])).size == 0
+
+    def test_offsets_must_cover_mask(self):
+        with pytest.raises(ValueError):
+            segment_first(np.array([True, False]), np.array([0, 1]))
+
+    def test_matches_naive(self):
+        rng = np.random.default_rng(1)
+        lens = rng.integers(0, 6, 30)
+        offsets = segment_offsets(lens)
+        mask = rng.random(int(lens.sum())) < 0.3
+        got = segment_first(mask, offsets)
+        for i in range(30):
+            s, e = offsets[i], offsets[i + 1]
+            hits = np.flatnonzero(mask[s:e])
+            expect = s + hits[0] if hits.size else e
+            assert got[i] == expect, i
+
+
+class TestPrefixMinima:
+    def test_single_group(self):
+        keys = np.array([5, 3, 4, 1, 1])
+        group = np.zeros(5, dtype=int)
+        mask = segmented_prefix_minima_mask(keys, group)
+        assert mask.tolist() == [True, True, False, True, False]
+
+    def test_multiple_groups_interleaved(self):
+        keys = np.array([5, 9, 3, 8, 4, 7])
+        group = np.array([0, 1, 0, 1, 0, 1])
+        mask = segmented_prefix_minima_mask(keys, group)
+        assert mask.tolist() == [True, True, True, True, False, True]
+
+    def test_count_matches_mask(self):
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 100, 200)
+        group = rng.integers(0, 10, 200)
+        assert segmented_count_prefix_minima(keys, group) == int(
+            segmented_prefix_minima_mask(keys, group).sum()
+        )
+
+    def test_matches_naive(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 50, 300)
+        group = rng.integers(0, 7, 300)
+        mask = segmented_prefix_minima_mask(keys, group)
+        best: dict[int, int] = {}
+        for i, (k, g) in enumerate(zip(keys, group)):
+            expect = g not in best or k < best[g]
+            assert mask[i] == expect, i
+            if expect:
+                best[g] = k
+
+    def test_empty(self):
+        assert segmented_count_prefix_minima(
+            np.array([], dtype=int), np.array([], dtype=int)) == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            segmented_prefix_minima_mask(np.array([1]), np.array([1, 2]))

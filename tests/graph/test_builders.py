@@ -1,0 +1,136 @@
+"""Unit tests for graph builders."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    from_arrays,
+    from_edges,
+    from_networkx,
+    random_weights,
+    to_networkx,
+)
+
+
+class TestFromEdges:
+    def test_self_loops_dropped(self):
+        g = from_edges(3, np.array([0, 1, 1]), np.array([0, 1, 2]),
+                       np.array([1.0, 2.0, 3.0]))
+        assert g.num_edges == 1
+
+    def test_parallel_edges_keep_lightest(self):
+        g = from_edges(2, np.array([0, 1, 0]), np.array([1, 0, 1]),
+                       np.array([5.0, 2.0, 7.0]))
+        assert g.num_edges == 1
+        _, _, w = g.edge_endpoints()
+        assert w[0] == 2.0
+
+    def test_orientation_does_not_matter(self):
+        a = from_edges(3, np.array([0, 1]), np.array([1, 2]),
+                       np.array([1.0, 2.0]))
+        b = from_edges(3, np.array([1, 2]), np.array([0, 1]),
+                       np.array([1.0, 2.0]))
+        assert set(a.iter_edges()) == set(b.iter_edges())
+
+    def test_random_weights_when_omitted(self):
+        g = from_edges(3, np.array([0, 1]), np.array([1, 2]), rng=0)
+        assert (g.weight > 0).all()
+
+    def test_deterministic_under_seed(self):
+        a = from_edges(3, np.array([0, 1]), np.array([1, 2]), rng=7)
+        b = from_edges(3, np.array([0, 1]), np.array([1, 2]), rng=7)
+        assert a == b
+
+    def test_no_dedup_mode(self):
+        g = from_edges(2, np.array([0, 0]), np.array([1, 1]),
+                       np.array([1.0, 2.0]), dedup=False)
+        assert g.num_edges == 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            from_edges(2, np.array([0]), np.array([5]), np.array([1.0]))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="same length"):
+            from_edges(3, np.array([0, 1]), np.array([1]),
+                       np.array([1.0, 2.0]))
+        with pytest.raises(ValueError, match="same length"):
+            from_edges(3, np.array([0, 1]), np.array([1, 2]),
+                       np.array([1.0]))
+
+    def test_empty_edge_list(self):
+        g = from_edges(4, np.array([], dtype=int), np.array([], dtype=int))
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+
+    def test_eids_are_dense(self):
+        g = from_edges(5, np.array([0, 1, 2, 3]), np.array([1, 2, 3, 4]),
+                       np.arange(4, dtype=float) + 1)
+        assert set(g.eid.tolist()) == {0, 1, 2, 3}
+
+
+class TestFromArrays:
+    def test_mirrors_each_edge(self):
+        g = from_arrays(3, np.array([0]), np.array([2]), np.array([1.5]))
+        assert g.num_half_edges == 2
+        assert set(g.neighbors(0).tolist()) == {2}
+        assert set(g.neighbors(2).tolist()) == {0}
+
+    def test_mates_share_eid_and_weight(self):
+        g = from_arrays(4, np.array([0, 1]), np.array([3, 2]),
+                        np.array([1.0, 2.0]))
+        src = g.src_expanded()
+        for k in range(g.num_half_edges):
+            e = g.eid[k]
+            mates = np.flatnonzero(g.eid == e)
+            assert len(mates) == 2
+            assert g.weight[mates[0]] == g.weight[mates[1]]
+            a, b = mates
+            assert src[a] == g.dst[b] and src[b] == g.dst[a]
+
+
+class TestRandomWeights:
+    def test_unique_weights_are_distinct(self):
+        w = random_weights(1000, 0, unique=True)
+        assert np.unique(w).size == 1000
+
+    def test_range(self):
+        w = random_weights(100, 0, low=5.0, high=6.0)
+        assert ((w >= 5.0) & (w < 6.0)).all()
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            random_weights(-1, 0)
+
+    def test_generator_reuse(self):
+        gen = np.random.default_rng(3)
+        a = random_weights(10, gen)
+        b = random_weights(10, gen)
+        assert not np.array_equal(a, b)  # generator advanced
+
+
+class TestNetworkxRoundTrip:
+    def test_round_trip(self):
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_weighted_edges_from([(0, 1, 3.0), (1, 2, 1.0), (0, 2, 2.0)])
+        csr = from_networkx(g)
+        back = to_networkx(csr)
+        assert nx.is_isomorphic(
+            g, back, edge_match=lambda a, b: a["weight"] == b["weight"]
+        )
+
+    def test_directed_rejected(self):
+        import networkx as nx
+
+        with pytest.raises(ValueError, match="undirected"):
+            from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_default_weight(self):
+        import networkx as nx
+
+        g = nx.Graph([(0, 1)])
+        csr = from_networkx(g)
+        _, _, w = csr.edge_endpoints()
+        assert w[0] == 1.0

@@ -1,0 +1,85 @@
+"""Unit tests for METIS and Matrix Market interop."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    from_edges,
+    load_matrix_market,
+    load_metis,
+    rmat,
+    save_matrix_market,
+    save_metis,
+)
+
+
+class TestMetis:
+    def test_round_trip_topology(self, tmp_path):
+        g = rmat(6, 4, rng=0)
+        path = tmp_path / "g.graph"
+        save_metis(g, path)
+        h = load_metis(path)
+        assert h.num_vertices == g.num_vertices
+        assert h.num_edges == g.num_edges
+        assert np.array_equal(h.degrees(), g.degrees())
+
+    def test_integer_weights_preserved(self, tmp_path):
+        g = from_edges(3, np.array([0, 1]), np.array([1, 2]),
+                       np.array([7.0, 3.0]))
+        path = tmp_path / "g.graph"
+        save_metis(g, path)
+        h = load_metis(path)
+        _, _, w = h.edge_endpoints()
+        assert sorted(w.tolist()) == [3.0, 7.0]
+
+    def test_unweighted_load(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("3 2 000\n2 3\n1\n1\n")
+        g = load_metis(path)
+        assert g.num_edges == 2
+        assert (g.weight == 1.0).all()
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("7\n")
+        with pytest.raises(ValueError, match="header"):
+            load_metis(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("3 2 000\n2 3\n")
+        with pytest.raises(ValueError, match="missing adjacency"):
+            load_metis(path)
+
+
+class TestMatrixMarket:
+    def test_round_trip(self, tmp_path):
+        g = rmat(6, 4, rng=1)
+        path = tmp_path / "g.mtx"
+        save_matrix_market(g, path)
+        h = load_matrix_market(path)
+        assert h.num_edges == g.num_edges
+        assert np.isclose(h.weight.sum(), g.weight.sum())
+
+    def test_pattern_matrix(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 2\n2 1\n3 2\n")
+        g = load_matrix_market(path)
+        assert g.num_edges == 2
+        assert (g.weight == 1.0).all()
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "% a comment\n3 3 1\n2 1 4.5\n")
+        g = load_matrix_market(path)
+        assert g.num_edges == 1
+
+    def test_not_mm_rejected(self, tmp_path):
+        path = tmp_path / "g.mtx"
+        path.write_text("hello\n")
+        with pytest.raises(ValueError, match="Matrix Market"):
+            load_matrix_market(path)

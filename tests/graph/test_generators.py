@@ -1,0 +1,137 @@
+"""Unit tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    paper_example,
+    path_graph,
+    rmat,
+    road_lattice,
+    star_graph,
+)
+
+
+class TestRmat:
+    def test_vertex_count(self):
+        g = rmat(7, 4, rng=0)
+        assert g.num_vertices == 128
+
+    def test_edge_count_close_to_nominal(self):
+        g = rmat(10, 8, rng=0)
+        nominal = 8 * 1024
+        assert 0.5 * nominal <= g.num_edges <= nominal
+
+    def test_deterministic(self):
+        assert rmat(8, 4, rng=5) == rmat(8, 4, rng=5)
+
+    def test_different_seeds_differ(self):
+        assert rmat(8, 4, rng=5) != rmat(8, 4, rng=6)
+
+    def test_skew_produces_heavier_head(self):
+        skewed = rmat(10, 8, a=0.7, b=0.1, c=0.1, rng=0)
+        flat = rmat(10, 8, a=0.25, b=0.25, c=0.25, rng=0)
+        assert skewed.degrees().max() > flat.degrees().max()
+
+    def test_unique_weights(self):
+        g = rmat(7, 4, rng=0, weights="unique")
+        _, _, w = g.edge_endpoints()
+        assert np.unique(w).size == g.num_edges
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            rmat(0, 4)
+
+    def test_bad_probabilities(self):
+        with pytest.raises(ValueError, match="probabilities"):
+            rmat(5, 4, a=0.8, b=0.2, c=0.2)
+
+    def test_bad_weight_kind(self):
+        with pytest.raises(ValueError, match="weight kind"):
+            rmat(5, 4, rng=0, weights="fibonacci")
+
+
+class TestRoadLattice:
+    def test_vertex_count(self):
+        g = road_lattice(5, 7, rng=0)
+        assert g.num_vertices == 35
+
+    def test_low_average_degree(self):
+        g = road_lattice(40, 40, rng=0)
+        avg = 2 * g.num_edges / g.num_vertices
+        assert 2.0 < avg < 4.5  # road-network regime
+
+    def test_no_drop_full_lattice(self):
+        g = road_lattice(4, 4, drop_prob=0.0, diagonal_prob=0.0, rng=0)
+        assert g.num_edges == 2 * 4 * 3
+
+    def test_diagonals_add_edges(self):
+        a = road_lattice(20, 20, drop_prob=0.0, diagonal_prob=0.0, rng=0)
+        b = road_lattice(20, 20, drop_prob=0.0, diagonal_prob=1.0, rng=0)
+        assert b.num_edges == a.num_edges + 19 * 19
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            road_lattice(0, 5)
+
+    def test_bad_probability(self):
+        with pytest.raises(ValueError, match="probabilities"):
+            road_lattice(4, 4, drop_prob=1.5)
+
+    def test_single_row(self):
+        g = road_lattice(10, 1, drop_prob=0.0, rng=0)
+        assert g.num_edges == 9
+
+
+class TestErdosRenyi:
+    def test_edges_bounded_by_request(self):
+        g = erdos_renyi(100, 300, rng=0)
+        assert g.num_edges <= 300
+
+    def test_zero_edges(self):
+        g = erdos_renyi(10, 0, rng=0)
+        assert g.num_edges == 0
+
+    def test_bad_vertex_count(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(0, 5)
+
+
+class TestDeterministicTopologies:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degrees().tolist() == [1, 2, 2, 2, 1]
+
+    def test_cycle(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert (g.degrees() == 2).all()
+
+    def test_star(self):
+        g = star_graph(8)
+        assert g.degrees()[0] == 7
+        assert (g.degrees()[1:] == 1).all()
+
+    def test_complete(self):
+        g = complete_graph(6, rng=0)
+        assert g.num_edges == 15
+        assert (g.degrees() == 5).all()
+
+    def test_minimum_sizes(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+        with pytest.raises(ValueError):
+            star_graph(1)
+        with pytest.raises(ValueError):
+            complete_graph(1)
+
+    def test_paper_example_shape(self):
+        g = paper_example()
+        assert g.num_vertices == 6
+        assert g.num_edges == 8

@@ -1,0 +1,72 @@
+"""Unit tests for graph serialization."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    load_edgelist,
+    load_npz,
+    paper_example,
+    rmat,
+    save_edgelist,
+    save_npz,
+)
+
+
+class TestEdgelist:
+    def test_round_trip(self, tmp_path):
+        g = paper_example()
+        path = tmp_path / "g.txt"
+        save_edgelist(g, path)
+        h = load_edgelist(path)
+        assert set(g.iter_edges()) == set(h.iter_edges())
+        assert h.num_vertices == g.num_vertices
+
+    def test_round_trip_random(self, tmp_path):
+        g = rmat(7, 4, rng=0)
+        path = tmp_path / "g.txt"
+        save_edgelist(g, path)
+        h = load_edgelist(path)
+        assert np.isclose(g.weight.sum(), h.weight.sum())
+
+    def test_load_without_weights(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 2\n")
+        g = load_edgelist(path)
+        assert g.num_edges == 2
+        assert (g.weight == 1.0).all()
+
+    def test_load_with_comments(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a snap-style header\n0 1 2.5\n\n1 2 3.5\n")
+        g = load_edgelist(path)
+        assert g.num_edges == 2
+
+    def test_explicit_vertex_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 1.0\n")
+        g = load_edgelist(path, num_vertices=10)
+        assert g.num_vertices == 10
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("42\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_edgelist(path)
+
+
+class TestNpz:
+    def test_round_trip(self, tmp_path):
+        g = rmat(8, 6, rng=1)
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        h = load_npz(path)
+        assert g == h
+
+    def test_round_trip_is_exact(self, tmp_path):
+        g = paper_example()
+        path = tmp_path / "g.npz"
+        save_npz(g, path)
+        h = load_npz(path)
+        assert np.array_equal(g.indptr, h.indptr)
+        assert np.array_equal(g.weight, h.weight)

@@ -1,0 +1,59 @@
+"""Unit tests for the AMST preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.graph import is_weight_sorted, preprocess, rmat
+from repro.mst import kruskal
+
+
+class TestPreprocess:
+    def test_default_weight_sorted(self):
+        g = rmat(8, 6, rng=0)
+        pp = preprocess(g)
+        assert is_weight_sorted(pp.graph)
+
+    def test_no_sort_keeps_adjacency_order(self):
+        g = rmat(8, 6, rng=0)
+        pp = preprocess(g, sort_edges_by_weight=False)
+        for v in range(pp.graph.num_vertices):
+            dst, _, _ = pp.graph.edges_of(v)
+            assert (np.diff(dst) >= 0).all()
+
+    @pytest.mark.parametrize("strategy", ["sort", "dbg", "identity"])
+    def test_strategies_preserve_mst_weight(self, strategy):
+        g = rmat(8, 6, rng=1)
+        pp = preprocess(g, reorder=strategy)
+        assert np.isclose(
+            kruskal(g).total_weight, kruskal(pp.graph).total_weight
+        )
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown reorder"):
+            preprocess(rmat(5, 4, rng=0), reorder="voodoo")
+
+    def test_timings_recorded(self):
+        pp = preprocess(rmat(8, 6, rng=0))
+        assert pp.reorder_seconds >= 0
+        assert pp.sort_seconds >= 0
+        assert pp.total_seconds == pp.reorder_seconds + pp.sort_seconds
+
+    def test_reorder_result_attached(self):
+        g = rmat(7, 4, rng=0)
+        pp = preprocess(g)
+        assert pp.reorder.perm.shape == (g.num_vertices,)
+
+
+class TestIsWeightSorted:
+    def test_detects_unsorted(self):
+        g = rmat(8, 6, rng=0)  # adjacency order, not weight order
+        pp_sorted = preprocess(g).graph
+        assert is_weight_sorted(pp_sorted)
+        # shuffle within a vertex to break the invariant
+        unsorted = preprocess(g, sort_edges_by_weight=False).graph
+        # random weights in dst order are almost surely not weight-sorted
+        assert not is_weight_sorted(unsorted)
+
+    def test_trivial_graphs_sorted(self):
+        from repro.graph import path_graph
+        assert is_weight_sorted(path_graph(2))

@@ -1,0 +1,82 @@
+"""Unit tests for degree-based vertex reordering."""
+
+import numpy as np
+import pytest
+
+from repro.graph import dbg, identity_order, rmat, sort_by_degree, star_graph
+from repro.mst import kruskal
+
+
+class TestSortByDegree:
+    def test_descending_degree(self):
+        g = rmat(8, 6, rng=0)
+        rr = sort_by_degree(g)
+        deg = rr.graph.degrees()
+        assert (np.diff(deg) <= 0).all()
+
+    def test_hub_gets_id_zero(self):
+        rr = sort_by_degree(star_graph(10))
+        assert rr.perm[0] == 0  # the hub keeps (gets) id 0
+
+    def test_perm_is_permutation(self):
+        g = rmat(7, 5, rng=1)
+        rr = sort_by_degree(g)
+        assert sorted(rr.perm.tolist()) == list(range(g.num_vertices))
+
+    def test_inverse_roundtrip(self):
+        g = rmat(7, 5, rng=1)
+        rr = sort_by_degree(g)
+        ids = np.arange(g.num_vertices)
+        assert np.array_equal(rr.inverse[rr.perm], ids)
+        assert np.array_equal(rr.to_original(rr.perm[ids]), ids)
+
+    def test_stable_for_equal_degrees(self):
+        g = rmat(7, 5, rng=1)
+        rr = sort_by_degree(g)
+        deg = g.degrees()
+        # among equal-degree vertices, original order is preserved
+        for d in np.unique(deg):
+            olds = np.flatnonzero(deg == d)
+            news = rr.perm[olds]
+            assert (np.diff(news) > 0).all()
+
+
+class TestDbg:
+    def test_perm_is_permutation(self):
+        g = rmat(8, 8, rng=2)
+        rr = dbg(g)
+        assert sorted(rr.perm.tolist()) == list(range(g.num_vertices))
+
+    def test_hot_vertices_get_low_ids(self):
+        g = rmat(9, 8, rng=3)
+        rr = dbg(g)
+        deg = rr.graph.degrees()
+        n = g.num_vertices
+        # average degree of the first quarter must beat the last quarter
+        assert deg[: n // 4].mean() > deg[-n // 4 :].mean()
+
+    def test_bad_group_count(self):
+        with pytest.raises(ValueError):
+            dbg(rmat(5, 4, rng=0), num_groups=0)
+
+    def test_single_group_is_identity_like(self):
+        g = rmat(6, 4, rng=0)
+        rr = dbg(g, num_groups=1)
+        assert np.array_equal(rr.perm, np.arange(g.num_vertices))
+
+
+class TestIdentity:
+    def test_identity(self):
+        g = rmat(6, 4, rng=0)
+        rr = identity_order(g)
+        assert rr.graph == g
+        assert np.array_equal(rr.perm, np.arange(g.num_vertices))
+
+
+class TestMstInvariance:
+    @pytest.mark.parametrize("reorder", [sort_by_degree, dbg])
+    def test_mst_weight_invariant_under_reordering(self, reorder):
+        g = rmat(8, 6, rng=4)
+        before = kruskal(g).total_weight
+        after = kruskal(reorder(g).graph).total_weight
+        assert np.isclose(before, after)

@@ -1,0 +1,84 @@
+"""Unit tests for graph statistics (Fig 3b support)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    degree_histogram,
+    from_edges,
+    neighborhood_overlap,
+    overlap_profile,
+    path_graph,
+    powerlaw_exponent,
+    rmat,
+    star_graph,
+    summarize,
+)
+
+
+class TestNeighborhoodOverlap:
+    def test_complete_graph_high_overlap(self):
+        g = complete_graph(16, rng=0)
+        # any window of 4 vertices shares most neighbors
+        assert neighborhood_overlap(g, 4) > 0.5
+
+    def test_path_graph_low_overlap(self):
+        g = path_graph(64)
+        assert neighborhood_overlap(g, 2) < 0.3
+
+    def test_interval_one_no_self_overlap(self):
+        g = path_graph(16)
+        assert neighborhood_overlap(g, 1) == 0.0
+
+    def test_rmat_overlap_is_low(self):
+        # the paper's Fig 3b claim: real-graph overlap stays below ~10 %
+        g = rmat(10, 8, rng=0)
+        assert neighborhood_overlap(g, 8) < 0.35
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            neighborhood_overlap(path_graph(4), 0)
+
+    def test_interval_larger_than_graph(self):
+        assert neighborhood_overlap(path_graph(4), 100) == 0.0
+
+    def test_sampling_caps_windows(self):
+        g = rmat(9, 6, rng=0)
+        full = neighborhood_overlap(g, 2, max_windows=None)
+        sampled = neighborhood_overlap(g, 2, max_windows=32, rng=0)
+        assert abs(full - sampled) < 0.3
+
+    def test_profile_keys(self):
+        prof = overlap_profile(path_graph(64), (1, 2, 4))
+        assert set(prof) == {1, 2, 4}
+
+
+class TestDegreeStats:
+    def test_histogram_total(self):
+        g = rmat(8, 6, rng=0)
+        _, counts = degree_histogram(g)
+        assert counts.sum() == g.num_vertices
+
+    def test_powerlaw_on_star_is_nan(self):
+        # star: one hub, all leaves degree 1 -> no tail to fit
+        assert np.isnan(powerlaw_exponent(star_graph(50)))
+
+    def test_powerlaw_on_rmat_in_range(self):
+        g = rmat(12, 16, rng=0)
+        alpha = powerlaw_exponent(g)
+        assert 1.2 < alpha < 4.0
+
+    def test_summarize(self):
+        g = rmat(8, 6, rng=0)
+        s = summarize(g)
+        assert s.num_vertices == g.num_vertices
+        assert s.num_edges == g.num_edges
+        assert s.max_degree == int(g.degrees().max())
+        assert len(s.row()) == 5
+
+    def test_summarize_empty(self):
+        g = from_edges(3, np.array([], dtype=int), np.array([], dtype=int))
+        s = summarize(g)
+        assert s.avg_degree == 0.0
+        assert s.max_degree == 0

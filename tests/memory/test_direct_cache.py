@@ -1,0 +1,76 @@
+"""Unit tests for the direct HDV cache."""
+
+import numpy as np
+import pytest
+
+from repro.memory import DirectHDVCache
+
+
+class TestRouting:
+    def test_threshold_split(self):
+        c = DirectHDVCache(4, 10)
+        hits = c.lookup(np.array([0, 3, 4, 9]))
+        assert hits.tolist() == [True, True, False, False]
+
+    def test_stats_counted(self):
+        c = DirectHDVCache(4, 10)
+        c.lookup(np.array([0, 5]))
+        assert c.stats.hits == 1
+        assert c.stats.misses == 1
+        assert c.stats.hit_rate == 0.5
+
+    def test_write_routing(self):
+        c = DirectHDVCache(4, 10)
+        cached = c.write(np.array([1, 7]))
+        assert cached.tolist() == [True, False]
+        assert c.stats.cache_writes == 1
+        assert c.stats.dram_writes == 1
+
+    def test_zero_capacity_all_miss(self):
+        c = DirectHDVCache(0, 10)
+        assert not c.lookup(np.arange(10)).any()
+        assert c.utilization() == 0.0
+
+    def test_capacity_larger_than_graph(self):
+        c = DirectHDVCache(100, 10)
+        assert c.lookup(np.arange(10)).all()
+        assert c.vt == 10
+
+    def test_contains_does_not_touch_stats(self):
+        c = DirectHDVCache(4, 10)
+        c.contains(np.array([0, 9]))
+        assert c.stats.lookups == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DirectHDVCache(-1, 10)
+
+
+class TestLiveness:
+    def test_initial_full_utilization(self):
+        assert DirectHDVCache(8, 100).utilization() == 1.0
+
+    def test_mark_dead_drops_utilization(self):
+        c = DirectHDVCache(8, 100)
+        c.mark_dead(np.array([0, 1, 2, 3]))
+        assert c.utilization() == 0.5
+        assert c.stats.invalidations == 4
+
+    def test_mark_dead_ignores_uncached(self):
+        c = DirectHDVCache(8, 100)
+        c.mark_dead(np.array([50, 99]))
+        assert c.utilization() == 1.0
+
+    def test_write_revives_slot(self):
+        c = DirectHDVCache(8, 100)
+        c.mark_dead(np.array([2]))
+        c.write(np.array([2]))
+        assert c.utilization() == 1.0
+
+    def test_reset(self):
+        c = DirectHDVCache(8, 100)
+        c.mark_dead(np.array([0]))
+        c.lookup(np.array([0]))
+        c.reset()
+        assert c.utilization() == 1.0
+        assert c.stats.lookups == 0

@@ -1,0 +1,116 @@
+"""Unit tests for the hash-based HDV cache (Fig 11d/e semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.memory import HashHDVCache
+
+
+class TestInit:
+    def test_initially_holds_batch_zero(self):
+        c = HashHDVCache(8, 100)
+        assert c.lookup(np.arange(8)).all()  # ids 0..7 are batch 0
+        assert not c.lookup(np.arange(8, 16)).any()
+
+    def test_small_graph_leaves_empty_slots(self):
+        c = HashHDVCache(8, 5)
+        assert c.utilization() == 5 / 8
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            HashHDVCache(0, 10)
+
+
+class TestReads:
+    def test_hit_requires_batch_match(self):
+        c = HashHDVCache(4, 100)
+        # id 5 -> slot 1, batch 1; slot 1 holds batch 0 -> miss
+        assert not c.lookup(np.array([5]))[0]
+        assert c.lookup(np.array([1]))[0]
+
+    def test_miss_does_not_fill(self):
+        c = HashHDVCache(4, 100)
+        c.lookup(np.array([5]))
+        assert not c.lookup(np.array([5]))[0]  # still a miss
+
+    def test_stats(self):
+        c = HashHDVCache(4, 100)
+        c.lookup(np.array([0, 5, 2]))
+        assert c.stats.hits == 2
+        assert c.stats.misses == 1
+
+
+class TestWrites:
+    def test_write_to_owned_slot(self):
+        c = HashHDVCache(4, 100)
+        assert c.write(np.array([2]))[0]  # batch 0 owns slot 2
+        assert c.stats.cache_writes == 1
+
+    def test_write_conflict_goes_to_dram(self):
+        c = HashHDVCache(4, 100)
+        # id 6 -> slot 2 batch 1; slot 2 live with batch 0
+        assert not c.write(np.array([6]))[0]
+        assert c.stats.dram_writes == 1
+
+    def test_claim_after_clear(self):
+        c = HashHDVCache(4, 100)
+        c.mark_dead(np.array([2]))
+        assert c.write(np.array([6]))[0]  # claims the cleared slot
+        assert c.lookup(np.array([6]))[0]
+        assert not c.lookup(np.array([2]))[0]  # old owner evicted
+
+    def test_first_writer_wins_within_batch(self):
+        c = HashHDVCache(4, 100)
+        c.mark_dead(np.array([2]))
+        # ids 6 and 10 both map to slot 2 (batches 1 and 2)
+        flags = c.write(np.array([6, 10]))
+        assert flags.tolist() == [True, False]
+        assert c.lookup(np.array([6]))[0]
+
+    def test_same_id_twice_in_batch_both_cache(self):
+        c = HashHDVCache(4, 100)
+        c.mark_dead(np.array([2]))
+        flags = c.write(np.array([6, 6]))
+        assert flags.tolist() == [True, True]
+
+
+class TestInvalidation:
+    def test_mark_dead_only_clears_owner(self):
+        c = HashHDVCache(4, 100)
+        c.mark_dead(np.array([6]))  # id 6 does not own slot 2
+        assert c.lookup(np.array([2]))[0]  # batch-0 entry untouched
+
+    def test_utilization_drops_and_recovers(self):
+        c = HashHDVCache(8, 100)
+        assert c.utilization() == 1.0
+        c.mark_dead(np.arange(4))
+        assert c.utilization() == 0.5
+        c.write(np.arange(8, 12))  # batch-1 ids claim the freed slots
+        assert c.utilization() == 1.0
+
+    def test_invalidation_counted(self):
+        c = HashHDVCache(8, 100)
+        c.mark_dead(np.array([0, 1]))
+        assert c.stats.invalidations == 2
+
+    def test_reset(self):
+        c = HashHDVCache(8, 100)
+        c.mark_dead(np.arange(8))
+        c.reset()
+        assert c.utilization() == 1.0
+        assert c.lookup(np.arange(8)).all()
+
+
+class TestCacheStats:
+    def test_merged_with(self):
+        from repro.memory import CacheStats
+
+        a = CacheStats(hits=1, misses=2, cache_writes=3, dram_writes=4,
+                       invalidations=5)
+        b = a.merged_with(a)
+        assert b.hits == 2 and b.dram_accesses == 12
+
+    def test_hit_rate_empty(self):
+        from repro.memory import CacheStats
+
+        assert CacheStats().hit_rate == 0.0

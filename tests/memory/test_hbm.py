@@ -1,0 +1,77 @@
+"""Unit tests for the HBM traffic model."""
+
+import pytest
+
+from repro.memory import BLOCK_BYTES, HBMModel
+
+
+class TestAccounting:
+    def test_random_one_block_per_item(self):
+        hbm = HBMModel()
+        assert hbm.access_random("parent", 10, 4) == 10
+        assert hbm.blocks("parent") == 10
+
+    def test_sequential_packs_items(self):
+        hbm = HBMModel()
+        # 4-byte items, 64-byte blocks -> 16 per block
+        assert hbm.access_sequential("stream", 33, 4) == 3
+        assert hbm.blocks("stream") == 3
+
+    def test_sequential_exact_fit(self):
+        hbm = HBMModel()
+        assert hbm.access_sequential("s", 16, 4) == 1
+
+    def test_sequential_zero_items(self):
+        hbm = HBMModel()
+        assert hbm.access_sequential("s", 0, 4) == 0
+
+    def test_item_bigger_than_block(self):
+        hbm = HBMModel()
+        assert hbm.access_sequential("s", 3, 128) == 3
+
+    def test_access_blocks_direct(self):
+        hbm = HBMModel()
+        hbm.access_blocks("edges", 7)
+        assert hbm.blocks("edges") == 7
+
+    def test_totals_across_streams(self):
+        hbm = HBMModel()
+        hbm.access_random("a", 3, 4)
+        hbm.access_sequential("b", 32, 4)
+        assert hbm.blocks() == 5
+        assert hbm.items() == 35
+        assert hbm.bytes_transferred() == 5 * BLOCK_BYTES
+
+    def test_unknown_stream_is_zero(self):
+        assert HBMModel().blocks("nope") == 0
+
+    def test_snapshot(self):
+        hbm = HBMModel()
+        hbm.access_random("a", 2, 4)
+        snap = hbm.snapshot()
+        assert snap["a"]["random_items"] == 2
+        assert snap["a"]["blocks"] == 2
+
+    def test_reset(self):
+        hbm = HBMModel()
+        hbm.access_random("a", 2, 4)
+        hbm.reset()
+        assert hbm.blocks() == 0
+
+
+class TestValidation:
+    def test_negative_items(self):
+        with pytest.raises(ValueError):
+            HBMModel().access_random("a", -1, 4)
+
+    def test_bad_item_bytes(self):
+        with pytest.raises(ValueError):
+            HBMModel().access_sequential("a", 1, 0)
+
+    def test_negative_blocks(self):
+        with pytest.raises(ValueError):
+            HBMModel().access_blocks("a", -1)
+
+    def test_bad_block_bytes(self):
+        with pytest.raises(ValueError):
+            HBMModel(block_bytes=0)

@@ -1,0 +1,91 @@
+"""Unit tests for the multi-port cache constructions (Fig 12)."""
+
+import numpy as np
+import pytest
+
+from repro.memory import (
+    BankedParentCache,
+    minedge_cache_cost,
+    parent_cache_cost,
+)
+
+
+class TestBankedParentCache:
+    def test_write_read_round_trip(self):
+        c = BankedParentCache(depth=16, write_ports=4)
+        for port in range(4):
+            addrs = np.arange(port, 16, 4)
+            c.write(port, addrs, addrs * 10)
+        got = c.read(np.arange(16))
+        assert np.array_equal(got, np.arange(16) * 10)
+
+    def test_equivalent_to_flat_array(self):
+        rng = np.random.default_rng(0)
+        depth, p = 64, 8
+        c = BankedParentCache(depth, p)
+        flat = np.full(depth, -1, dtype=np.int64)
+        for _ in range(20):
+            port = int(rng.integers(p))
+            addrs = np.arange(port, depth, p)
+            pick = addrs[rng.random(addrs.size) < 0.5]
+            vals = rng.integers(0, 1000, pick.size)
+            c.write(port, pick, vals)
+            flat[pick] = vals
+        probe = rng.integers(0, depth, 100)
+        assert np.array_equal(c.read(probe), flat[probe])
+
+    def test_stride_ownership_enforced(self):
+        c = BankedParentCache(16, 4)
+        with pytest.raises(ValueError, match="congruent"):
+            c.write(0, np.array([1]), np.array([5]))
+
+    def test_bad_port(self):
+        c = BankedParentCache(16, 4)
+        with pytest.raises(ValueError, match="port"):
+            c.write(7, np.array([3]), np.array([5]))
+
+    def test_address_range_checked(self):
+        c = BankedParentCache(16, 4)
+        with pytest.raises(IndexError):
+            c.read(np.array([16]))
+        with pytest.raises(IndexError):
+            c.write(0, np.array([20]), np.array([1]))
+
+    def test_mismatched_shapes(self):
+        c = BankedParentCache(16, 4)
+        with pytest.raises(ValueError, match="match"):
+            c.write(0, np.array([0, 4]), np.array([1]))
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BankedParentCache(0, 4)
+
+
+class TestCostModels:
+    def test_minedge_replicates_per_port(self):
+        one = minedge_cache_cost(1024, read_ports=1)
+        four = minedge_cache_cost(1024, read_ports=4)
+        assert four.brams == 4 * one.brams
+        assert four.replicas == 4
+
+    def test_banked_parent_beats_naive_replication(self):
+        # the paper's 2P saving: banked build vs full m*n replication
+        depth, p = 1 << 19, 16
+        banked = parent_cache_cost(depth, write_ports=p, read_ports=p)
+        naive_bits = depth * 40 * p * p  # m*n full copies
+        assert banked.total_kbits * 1024 < naive_bits / p  # >= 2P-ish saving
+
+    def test_parent_cost_scales_with_ports(self):
+        a = parent_cache_cost(4096, 4, 4)
+        b = parent_cache_cost(4096, 4, 8)
+        assert b.brams >= a.brams
+
+    def test_bad_ports(self):
+        with pytest.raises(ValueError):
+            minedge_cache_cost(64, 0)
+        with pytest.raises(ValueError):
+            parent_cache_cost(64, 0, 1)
+
+    def test_total_kbits(self):
+        c = minedge_cache_cost(1024, 2, word_bits=64)
+        assert c.total_kbits == 1024 * 64 * 2 / 1024

@@ -1,0 +1,62 @@
+"""Unit tests for the Kruskal and Prim ground truths."""
+
+import numpy as np
+import pytest
+
+from repro.graph import from_edges, path_graph, to_networkx
+from repro.mst import kruskal, prim
+
+
+@pytest.mark.parametrize("algo", [kruskal, prim], ids=["kruskal", "prim"])
+class TestGroundTruth:
+    def test_tiny_known_mst(self, algo, tiny_graph):
+        r = algo(tiny_graph)
+        assert r.num_edges == 3
+        assert r.total_weight == 6.0  # edges 1 + 2 + 3
+        assert r.num_components == 1
+
+    def test_path_takes_all_edges(self, algo):
+        g = path_graph(7)
+        r = algo(g)
+        assert r.num_edges == 6
+        assert r.total_weight == sum(range(1, 7))
+
+    def test_forest(self, algo, forest_graph):
+        r = algo(forest_graph)
+        assert r.num_components == 3  # two chains + isolated vertex
+        assert r.num_edges == 4
+
+    def test_single_vertex(self, algo):
+        g = from_edges(1, np.array([], dtype=int), np.array([], dtype=int))
+        r = algo(g)
+        assert r.num_edges == 0
+        assert r.num_components == 1
+
+    def test_matches_networkx(self, algo, zoo):
+        import networkx as nx
+
+        for name, g in zoo:
+            expected = sum(
+                d["weight"]
+                for _, _, d in nx.minimum_spanning_edges(
+                    to_networkx(g), data=True
+                )
+            )
+            got = algo(g).total_weight
+            assert np.isclose(got, expected), name
+
+
+class TestAgreement:
+    def test_kruskal_prim_same_weight(self, zoo):
+        for name, g in zoo:
+            k, p = kruskal(g), prim(g)
+            assert k.same_forest_weight(p), name
+
+    def test_unique_weights_same_edges(self, zoo):
+        for name, g in zoo:
+            _, _, w = g.edge_endpoints()
+            if np.unique(w).size != w.size:
+                continue  # MST only unique under distinct weights
+            assert np.array_equal(
+                kruskal(g).edge_ids, prim(g).edge_ids
+            ), name

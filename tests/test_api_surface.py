@@ -1,0 +1,68 @@
+"""API-surface tests: every advertised export exists and is importable.
+
+Guards against broken ``__all__`` lists and accidental API removals —
+the kind of breakage that unit tests of individual modules miss.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.graph",
+    "repro.mst",
+    "repro.memory",
+    "repro.core",
+    "repro.baselines",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    mod = importlib.import_module(name)
+    assert hasattr(mod, "__all__"), name
+    for symbol in mod.__all__:
+        assert hasattr(mod, symbol), f"{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_no_private_exports(name):
+    mod = importlib.import_module(name)
+    for symbol in mod.__all__:
+        if symbol.startswith("__") and symbol.endswith("__"):
+            continue  # dunder metadata like __version__
+        assert not symbol.startswith("_"), f"{name}.{symbol} is private"
+
+
+def test_top_level_api_stable():
+    import repro
+
+    assert {"Amst", "AmstConfig", "AmstOutput", "PerfReport",
+            "MSTResult"} <= set(repro.__all__)
+    assert repro.__version__
+
+
+def test_cli_entry_point():
+    from repro.cli import main
+
+    assert callable(main)
+
+
+def test_public_callables_have_docstrings():
+    for name in PACKAGES:
+        mod = importlib.import_module(name)
+        for symbol in mod.__all__:
+            obj = getattr(mod, symbol)
+            if callable(obj) and not isinstance(obj, type):
+                assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
+
+
+def test_public_classes_have_docstrings():
+    for name in PACKAGES:
+        mod = importlib.import_module(name)
+        for symbol in mod.__all__:
+            obj = getattr(mod, symbol)
+            if isinstance(obj, type):
+                assert obj.__doc__, f"{name}.{symbol} lacks a docstring"

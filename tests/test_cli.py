@@ -1,0 +1,74 @@
+"""Tests for the ``amst`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.dataset == "RC"
+        assert args.parallelism == 16
+
+    def test_bench_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--experiment", "fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "--dataset", "EF", "--scale", "0.25",
+                     "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "validation" in out
+
+    def test_run_custom_parallelism(self, capsys):
+        assert main(["run", "--dataset", "EF", "--scale", "0.25",
+                     "--parallelism", "4",
+                     "--cache-vertices", "128"]) == 0
+        assert "MEPS" in capsys.readouterr().out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "ego-Facebook" in out and "UK-Union" in out
+
+    def test_resources(self, capsys):
+        assert main(["resources"]) == 0
+        assert "BRAM" in capsys.readouterr().out
+
+    def test_bench_single(self, capsys):
+        assert main(["bench", "--experiment", "fig16"]) == 0
+        assert "Fig 16" in capsys.readouterr().out
+
+    def test_bench_table1(self, capsys):
+        assert main(["bench", "--experiment", "table1",
+                     "--scale", "0.25"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+
+class TestNewCommands:
+    def test_trace(self, capsys, tmp_path):
+        csv_path = tmp_path / "t.csv"
+        json_path = tmp_path / "t.json"
+        assert main(["trace", "--dataset", "EF", "--scale", "0.25",
+                     "--parallelism", "4",
+                     "--csv", str(csv_path), "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "FM%" in out
+        assert csv_path.exists() and json_path.exists()
+
+    def test_sweep_single(self, capsys):
+        assert main(["sweep", "--sweep", "pipeline", "--dataset", "EF",
+                     "--scale", "0.25", "--cache-vertices", "64"]) == 0
+        assert "Sweep-pipe" in capsys.readouterr().out
+
+    def test_sweep_bad_name(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--sweep", "nonsense"])
