@@ -2,7 +2,15 @@
 one reproduction function per table/figure of the paper."""
 
 from .datasets import SUITE, DatasetSpec, default_cache_vertices, load, suite
+from .executor import (
+    TaskSpec,
+    derive_task_seed,
+    execute,
+    run_experiments,
+    run_sweeps,
+)
 from .figures import (
+    EXPERIMENTS,
     fig3a_stage_breakdown,
     fig3b_neighborhood_overlap,
     fig3c_useless_computation,
@@ -18,6 +26,7 @@ from .figures import (
 from .runner import ExperimentResult, format_table, geomean
 from .stability import seed_stability
 from .sweeps import (
+    SWEEPS,
     sweep_cache_capacity,
     sweep_cache_organization,
     sweep_conflict_resolution,
@@ -35,6 +44,13 @@ __all__ = [
     "ExperimentResult",
     "format_table",
     "geomean",
+    "TaskSpec",
+    "derive_task_seed",
+    "execute",
+    "run_experiments",
+    "run_sweeps",
+    "EXPERIMENTS",
+    "SWEEPS",
     "table1_datasets",
     "table2_preprocessing",
     "fig3a_stage_breakdown",

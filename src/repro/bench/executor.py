@@ -1,0 +1,166 @@
+"""Parallel experiment executor.
+
+The exhibits (``figures.EXPERIMENTS``) and design-space sweeps
+(``sweeps.SWEEPS``) are embarrassingly parallel: every task builds its
+own graphs from a seed and returns a plain :class:`ExperimentResult`.
+This module fans them across a ``ProcessPoolExecutor`` while keeping the
+output *byte-identical* to a serial run:
+
+* **deterministic seeds** — each task derives its seed from the base
+  seed and its stable key via :func:`derive_task_seed` (CRC32, not
+  Python's per-process ``hash``), so a task's RNG stream never depends
+  on which worker ran it or in what order;
+* **ordered collection** — futures are gathered in submission order, so
+  stdout ordering matches ``--jobs 1`` exactly;
+* **inline fallback** — ``jobs <= 1`` runs every task in-process with
+  the same code path, which is what makes the parity testable.
+
+Wall-clock measurements inside a task (Table II, Fig 3a) are real time
+and naturally vary run-to-run; everything count- or cycle-based is
+reproducible.  See ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import inspect
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .datasets import default_cache_vertices, load
+from .runner import ExperimentResult
+
+__all__ = [
+    "TaskSpec",
+    "derive_task_seed",
+    "execute",
+    "run_experiments",
+    "run_sweeps",
+]
+
+
+def derive_task_seed(base_seed: int, key: str) -> int:
+    """Stable per-task seed: mixes the base seed with the task key.
+
+    Uses CRC32 rather than ``hash()`` because the latter is salted per
+    process — workers would disagree with the parent about the seed.
+    """
+    return (int(base_seed) * 0x9E3779B1 + zlib.crc32(key.encode())) % 2**31
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One unit of parallel work: ``fn(**kwargs)`` under a stable key.
+
+    ``fn`` must be a module-level callable (pickled by reference) and
+    ``kwargs`` picklable values; extra kwargs the callable does not
+    accept are dropped (exhibit signatures differ — Fig 16 takes no
+    size/seed at all).
+    """
+
+    key: str
+    fn: Callable[..., object]
+    kwargs: dict = field(default_factory=dict)
+
+
+def _call_filtered(fn: Callable[..., object], kwargs: dict) -> object:
+    params = inspect.signature(fn).parameters
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return fn(**kwargs)
+    return fn(**{k: v for k, v in kwargs.items() if k in params})
+
+
+def _normalize(result: object) -> list[ExperimentResult]:
+    """Exhibit functions return one result or a tuple (Fig 10)."""
+    if isinstance(result, ExperimentResult):
+        return [result]
+    return list(result)
+
+
+def run_task(spec: TaskSpec) -> list[ExperimentResult]:
+    """Run one task (in a worker or inline) and normalize its output."""
+    return _normalize(_call_filtered(spec.fn, spec.kwargs))
+
+
+def execute(
+    tasks: list[TaskSpec], *, jobs: int = 1
+) -> list[list[ExperimentResult]]:
+    """Run every task, returning results in task order.
+
+    ``jobs <= 1`` (or a single task) runs inline — no pool, no pickling
+    — through the same :func:`run_task` path, so serial and parallel
+    runs produce identical results.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return [run_task(t) for t in tasks]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        futures = [pool.submit(run_task, t) for t in tasks]  # submission order
+        return [f.result() for f in futures]
+
+
+# ----------------------------------------------------------------------
+# Task builders for the two CLI surfaces
+# ----------------------------------------------------------------------
+def _experiment_tasks(
+    names: list[str], *, size: float, seed: int
+) -> list[TaskSpec]:
+    from .figures import EXPERIMENTS
+
+    tasks = []
+    for name in names:
+        for fn in EXPERIMENTS[name]:
+            tasks.append(TaskSpec(
+                key=f"{name}.{fn.__name__}", fn=fn,
+                kwargs={"size": size, "seed": seed},
+            ))
+    return tasks
+
+
+def run_experiments(
+    names: list[str], *, size: float = 1.0, seed: int = 0, jobs: int = 1
+) -> list[ExperimentResult]:
+    """Run the named exhibits (keys of ``figures.EXPERIMENTS``) in order.
+
+    Every exhibit receives the *same* base seed regardless of ``jobs``
+    (each builds the shared dataset suite from it), so ``--jobs N``
+    output is byte-identical to serial for all count/cycle exhibits.
+    """
+    tasks = _experiment_tasks(names, size=size, seed=seed)
+    return [r for group in execute(tasks, jobs=jobs) for r in group]
+
+
+def _sweep_task(
+    name: str, *, dataset: str, size: float, base_seed: int,
+    cache_vertices: int | None,
+) -> ExperimentResult:
+    """Worker body for one sweep: load the graph locally, derive the seed.
+
+    Module-level (picklable) on purpose; the graph is built inside the
+    worker from ``(dataset, base_seed, size)`` instead of being shipped
+    through the pool.
+    """
+    from .sweeps import SWEEPS
+
+    g = load(dataset, seed=base_seed, size=size)
+    cache = cache_vertices or default_cache_vertices(size)
+    return _call_filtered(SWEEPS[name], {
+        "graph": g,
+        "cache_vertices": cache,
+        "seed": derive_task_seed(base_seed, f"sweep.{name}"),
+    })
+
+
+def run_sweeps(
+    names: list[str], *, dataset: str, size: float = 1.0, seed: int = 0,
+    cache_vertices: int | None = None, jobs: int = 1,
+) -> list[ExperimentResult]:
+    """Run the named sweeps (keys of ``sweeps.SWEEPS``) in order."""
+    tasks = [
+        TaskSpec(key=f"sweep.{name}", fn=_sweep_task, kwargs={
+            "name": name, "dataset": dataset, "size": size,
+            "base_seed": seed, "cache_vertices": cache_vertices,
+        })
+        for name in names
+    ]
+    return [r for group in execute(tasks, jobs=jobs) for r in group]

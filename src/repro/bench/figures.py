@@ -24,6 +24,7 @@ from .datasets import SUITE, default_cache_vertices, suite
 from .runner import ExperimentResult, geomean
 
 __all__ = [
+    "EXPERIMENTS",
     "table1_datasets",
     "table2_preprocessing",
     "fig3a_stage_breakdown",
@@ -432,3 +433,21 @@ def fig16_resource_utilization(
         "87.64 % URAM, >210 MHz"
     )
     return res
+
+
+# ----------------------------------------------------------------------
+# Registry: CLI experiment name -> exhibit functions (executor tasks).
+# Module-level functions, not lambdas: the parallel executor pickles
+# them by reference into worker processes.
+# ----------------------------------------------------------------------
+EXPERIMENTS: dict[str, tuple] = {
+    "table1": (table1_datasets,),
+    "table2": (table2_preprocessing,),
+    "fig3": (fig3a_stage_breakdown, fig3b_neighborhood_overlap,
+             fig3c_useless_computation, mastiff_atomic_share),
+    "fig10": (fig10_cache_utilization,),
+    "fig13": (fig13_single_pe_ablation,),
+    "fig14": (fig14_parallel_scaling,),
+    "fig15": (fig15_platform_comparison,),
+    "fig16": (fig16_resource_utilization,),
+}

@@ -17,10 +17,15 @@ __all__ = ["ExperimentResult", "geomean", "format_table"]
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean; ignores non-positive entries (reported separately)."""
+    """Geometric mean; ignores non-positive entries (reported separately).
+
+    With no positive entries there is no geometric mean — returns NaN
+    (``_fmt`` renders it as "—") rather than a misleading 0.0, which
+    downstream ratios would propagate silently.
+    """
     arr = np.asarray([v for v in values if v > 0], dtype=np.float64)
     if arr.size == 0:
-        return 0.0
+        return float("nan")
     return float(np.exp(np.mean(np.log(arr))))
 
 
@@ -62,6 +67,8 @@ class ExperimentResult:
 
 def _fmt(v) -> str:
     if isinstance(v, float):
+        if np.isnan(v):
+            return "—"
         if v == 0:
             return "0"
         if abs(v) >= 1000:

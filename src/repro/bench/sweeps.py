@@ -20,6 +20,7 @@ from ..graph.preprocess import preprocess
 from .runner import ExperimentResult
 
 __all__ = [
+    "SWEEPS",
     "sweep_cache_capacity",
     "sweep_cache_organization",
     "sweep_conflict_resolution",
@@ -64,14 +65,16 @@ def sweep_cache_organization(
     *,
     cache_vertices: int = 4096,
     parallelism: int = 16,
-    include_lru: bool = False,
+    include_lru: bool = True,
 ) -> ExperimentResult:
-    """none vs direct vs hash (vs conventional LRU) at a fixed capacity.
+    """none vs direct vs hash vs conventional LRU at a fixed capacity.
 
     ``include_lru`` adds the set-associative LRU upper bound — Section
-    III-A's "traditional cache strategy" — which is slow to simulate
-    (per-access replacement state) and unbuildable with the multi-port
-    constraints, so it is off by default.
+    III-A's "traditional cache strategy", unbuildable under the
+    multi-port constraints but a useful hit-rate reference.  It is on by
+    default now that the replay is vectorized (``repro.memory.lru_cache``
+    replays whole access streams set-by-set instead of per element);
+    pass ``include_lru=False`` to drop the row.
     """
     res = ExperimentResult(
         "Sweep-org",
@@ -230,3 +233,18 @@ def sweep_reordering(
         )
     res.add_note("degree-aware orders concentrate hits in the HDV cache")
     return res
+
+
+# ----------------------------------------------------------------------
+# Registry: CLI sweep name -> sweep function (executor tasks).  Keys are
+# the ``amst sweep --sweep`` choices; the executor filters kwargs per
+# signature (e.g. ``cache`` takes no cache_vertices).
+# ----------------------------------------------------------------------
+SWEEPS: dict[str, object] = {
+    "cache": sweep_cache_capacity,
+    "organization": sweep_cache_organization,
+    "network": sweep_conflict_resolution,
+    "pipeline": sweep_pipeline_components,
+    "reorder": sweep_reordering,
+    "weights": sweep_weight_distributions,
+}

@@ -18,29 +18,17 @@ import sys
 
 from . import bench
 from .bench.datasets import default_cache_vertices, load
-from .core import Amst, AmstConfig, format_profile, save_trace_csv, save_trace_json
-
-_EXPERIMENTS = {
-    "table1": lambda **kw: [bench.table1_datasets(
-        size=kw["size"], seed=kw["seed"])],
-    "table2": lambda **kw: [bench.table2_preprocessing(
-        size=kw["size"], seed=kw["seed"])],
-    "fig3": lambda **kw: [
-        bench.fig3a_stage_breakdown(size=kw["size"], seed=kw["seed"]),
-        bench.fig3b_neighborhood_overlap(size=kw["size"], seed=kw["seed"]),
-        bench.fig3c_useless_computation(size=kw["size"], seed=kw["seed"]),
-        bench.mastiff_atomic_share(size=kw["size"], seed=kw["seed"]),
-    ],
-    "fig10": lambda **kw: list(bench.fig10_cache_utilization(
-        size=kw["size"], seed=kw["seed"])),
-    "fig13": lambda **kw: [bench.fig13_single_pe_ablation(
-        size=kw["size"], seed=kw["seed"])],
-    "fig14": lambda **kw: [bench.fig14_parallel_scaling(
-        size=kw["size"], seed=kw["seed"])],
-    "fig15": lambda **kw: [bench.fig15_platform_comparison(
-        size=kw["size"], seed=kw["seed"])],
-    "fig16": lambda **kw: [bench.fig16_resource_utilization()],
-}
+from .bench.executor import run_experiments, run_sweeps
+from .bench.figures import EXPERIMENTS
+from .bench.sweeps import SWEEPS
+from .core import (
+    Amst,
+    AmstConfig,
+    format_host_profile,
+    format_profile,
+    save_trace_csv,
+    save_trace_json,
+)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -67,40 +55,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         validate_mst(g, out.result, reference=kruskal(g))
         print("validation   : forest matches Kruskal (weight-exact)")
+    if args.profile_host:
+        print()
+        print(format_host_profile(r.extra["host_timing"]), end="")
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     names = (
-        list(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     )
-    for name in names:
-        for result in _EXPERIMENTS[name](size=args.scale, seed=args.seed):
-            print(result.to_text())
+    for result in run_experiments(
+        names, size=args.scale, seed=args.seed, jobs=args.jobs
+    ):
+        print(result.to_text())
     return 0
 
 
-_SWEEPS = {
-    "cache": lambda g, cache: bench.sweep_cache_capacity(g),
-    "organization": lambda g, cache: bench.sweep_cache_organization(
-        g, cache_vertices=cache),
-    "network": lambda g, cache: bench.sweep_conflict_resolution(
-        g, cache_vertices=cache),
-    "pipeline": lambda g, cache: bench.sweep_pipeline_components(
-        g, cache_vertices=cache),
-    "reorder": lambda g, cache: bench.sweep_reordering(
-        g, cache_vertices=cache),
-    "weights": lambda g, cache: bench.sweep_weight_distributions(
-        g, cache_vertices=cache),
-}
-
-
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    g = load(args.dataset, seed=args.seed, size=args.scale)
-    cache = args.cache_vertices or default_cache_vertices(args.scale)
-    names = list(_SWEEPS) if args.sweep == "all" else [args.sweep]
-    for name in names:
-        print(_SWEEPS[name](g, cache).to_text())
+    names = list(SWEEPS) if args.sweep == "all" else [args.sweep]
+    for result in run_sweeps(
+        names, dataset=args.dataset, size=args.scale, seed=args.seed,
+        cache_vertices=args.cache_vertices, jobs=args.jobs,
+    ):
+        print(result.to_text())
     return 0
 
 
@@ -145,13 +123,17 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--seed", type=int, default=0)
     pr.add_argument("--validate", action="store_true",
                     help="check the forest against Kruskal")
+    pr.add_argument("--profile-host", action="store_true",
+                    help="print host wall-clock per stage/subsystem")
     pr.set_defaults(func=_cmd_run)
 
     pb = sub.add_parser("bench", help="reproduce a table/figure")
     pb.add_argument("--experiment", default="all",
-                    choices=["all", *_EXPERIMENTS])
+                    choices=["all", *EXPERIMENTS])
     pb.add_argument("--scale", type=float, default=1.0)
     pb.add_argument("--seed", type=int, default=0)
+    pb.add_argument("--jobs", type=int, default=1,
+                    help="worker processes (1 = run inline)")
     pb.set_defaults(func=_cmd_bench)
 
     pd = sub.add_parser("datasets", help="print the Table I suite")
@@ -163,11 +145,13 @@ def build_parser() -> argparse.ArgumentParser:
     ps.set_defaults(func=_cmd_resources)
 
     pw = sub.add_parser("sweep", help="design-space sweeps (DESIGN.md)")
-    pw.add_argument("--sweep", default="all", choices=["all", *_SWEEPS])
+    pw.add_argument("--sweep", default="all", choices=["all", *SWEEPS])
     pw.add_argument("--dataset", default="CL")
     pw.add_argument("--cache-vertices", type=int, default=None)
     pw.add_argument("--scale", type=float, default=1.0)
     pw.add_argument("--seed", type=int, default=0)
+    pw.add_argument("--jobs", type=int, default=1,
+                    help="worker processes (1 = run inline)")
     pw.set_defaults(func=_cmd_sweep)
 
     pt = sub.add_parser("trace", help="per-iteration execution profile")

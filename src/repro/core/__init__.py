@@ -18,6 +18,7 @@ from .sorting_network import (
     bitonic_stage_count,
 )
 from .state import SimState
+from .timing import HostTimers, TimedSubsystem, format_host_profile
 from .trace import (
     IterationTrace,
     format_profile,
@@ -46,6 +47,9 @@ __all__ = [
     "bitonic_sort_pairs",
     "bitonic_stage_count",
     "SimState",
+    "HostTimers",
+    "TimedSubsystem",
+    "format_host_profile",
     "IterationTrace",
     "trace_run",
     "save_trace_csv",

@@ -35,6 +35,7 @@ from .finding import run_finding
 from .perf import PerfReport, build_report
 from .rape import run_rape
 from .state import SimState
+from .timing import CACHE_METHODS, HBM_METHODS, TimedSubsystem
 
 __all__ = ["Amst", "AmstOutput"]
 
@@ -87,6 +88,14 @@ class Amst:
             )
         g = preprocessed.graph
         state = SimState.initial(g, cfg)
+        timers = state.timers
+        # Route cache/HBM calls through timing proxies so the host
+        # profile attributes simulator time per subsystem (timing.py).
+        state.parent_cache = TimedSubsystem(
+            state.parent_cache, timers, "sub.cache.parent", CACHE_METHODS)
+        state.minedge_cache = TimedSubsystem(
+            state.minedge_cache, timers, "sub.cache.minedge", CACHE_METHODS)
+        state.hbm = TimedSubsystem(state.hbm, timers, "sub.hbm", HBM_METHODS)
         log = EventLog()
         mst_chunks: list[np.ndarray] = []
         total_weight = 0.0
@@ -99,7 +108,8 @@ class Amst:
         completed = 0
         while state.iteration < limit:
             ev = log.new_iteration()
-            found = run_finding(state, ev)
+            with timers.section("stage.fm"):
+                found = run_finding(state, ev)
             ev.parent_cache_utilization = state.parent_cache.utilization()
             ev.minedge_cache_utilization = state.minedge_cache.utilization()
             if found.num_candidates == 0:
@@ -108,12 +118,14 @@ class Amst:
                 # in the log (its cycles and traffic are real) but does
                 # not count as a Borůvka iteration.
                 break
-            rape = run_rape(state, ev)
+            with timers.section("stage.rm_am"):
+                rape = run_rape(state, ev)
             mst_chunks.append(rape.appended_eids)
             total_weight += rape.appended_weight
             state.iteration += 1
             completed += 1
-            run_compressing(state, ev, rape.hooked_roots)
+            with timers.section("stage.cm"):
+                run_compressing(state, ev, rape.hooked_roots)
             state.reset_minedge()
             ev.parent_cache_utilization = state.parent_cache.utilization()
             ev.minedge_cache_utilization = state.minedge_cache.utilization()
@@ -133,6 +145,7 @@ class Amst:
             extras={"config": cfg},
         )
         report = build_report(log, cfg, g.num_edges)
+        report.extra["host_timing"] = timers.snapshot()
         return AmstOutput(
             result=result,
             report=report,

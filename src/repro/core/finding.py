@@ -31,7 +31,7 @@ from ..memory.hbm import BLOCK_BYTES
 from .events import IterationEvents
 from .sorting_network import bitonic_stage_count
 from .state import SimState
-from .utils import concat_ranges, segment_first, segment_offsets
+from .utils import concat_ranges, count_distinct, segment_first, segment_offsets
 
 __all__ = ["FindingOutput", "run_finding"]
 
@@ -147,10 +147,11 @@ def run_finding(state: SimState, ev: IterationEvents) -> FindingOutput:
     # edges ride the same block but skipped blocks — fully flagged — are
     # never issued, Fig 4c).
     edges_per_block = max(BLOCK_BYTES // cfg.edge_bytes, 1)
+    block_space = g.dst.size // edges_per_block + 1
     fetched = flat[exam_lookup]
-    blocks = np.unique(fetched // edges_per_block)
+    num_blocks = count_distinct(fetched // edges_per_block, block_space)
     ev.add("mem.fm_edge_blocks",
-           state.hbm.access_blocks("fm.edges", blocks.size))
+           state.hbm.access_blocks("fm.edges", num_blocks))
 
     # ---- intra-edge marking (Step 3/6) ----------------------------------
     newly_intra = exam_lookup & ~external
@@ -158,9 +159,11 @@ def run_finding(state: SimState, ev: IterationEvents) -> FindingOutput:
     if cfg.skip_intra_edges and num_marks:
         state.ie[flat[newly_intra]] = True
         ev.add("fm.ie_marks", num_marks)
-        wb_blocks = np.unique(flat[newly_intra] // edges_per_block)
+        num_wb_blocks = count_distinct(
+            flat[newly_intra] // edges_per_block, block_space
+        )
         ev.add("mem.fm_ie_writeback_blocks",
-               state.hbm.access_blocks("fm.edges_wb", wb_blocks.size))
+               state.hbm.access_blocks("fm.edges_wb", num_wb_blocks))
 
     # ---- intra-vertex detection (Step 7) ---------------------------------
     new_iv_vs = vs[~found]
@@ -209,7 +212,8 @@ def run_finding(state: SimState, ev: IterationEvents) -> FindingOutput:
     ev.add("fm.candidates", cand_comp.size)
 
     # ---- sorting network + MinEdge writer ---------------------------------
-    _commit_minedge(state, ev, cand_comp, cand_w, cand_eid, cand_target)
+    with state.timers.section("sub.network"):
+        _commit_minedge(state, ev, cand_comp, cand_w, cand_eid, cand_target)
 
     comps = np.unique(cand_comp)
     return FindingOutput(comps, int(cand_comp.size), int(new_iv_vs.size))

@@ -94,7 +94,7 @@ def run_rape(state: SimState, ev: IterationEvents) -> RapeOutput:
            state.hbm.access_sequential("rape.mst", keep.size, 12))
 
     new_target = state.me_target[keep]
-    state.parent[keep] = new_target
+    state.write_parent(keep, new_target)
     state.fresh_at[keep] = state.iteration  # hooked roots are hot
     wrote = state.parent_cache.write(keep)
     dram_w = int(np.count_nonzero(~np.asarray(wrote)))

@@ -23,7 +23,7 @@ stale hop (Fig 7 Step ④'s freshness check).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -33,6 +33,7 @@ from ..memory.hash_cache import HashHDVCache
 from ..memory.hbm import HBMModel
 from ..memory.lru_cache import LRUCache
 from .config import AmstConfig
+from .timing import HostTimers
 
 __all__ = ["SimState"]
 
@@ -64,6 +65,15 @@ class SimState:
     minedge_cache: object
     hbm: HBMModel
     iteration: int = 0
+    timers: HostTimers = field(default_factory=HostTimers)
+
+    def __setattr__(self, name: str, value) -> None:
+        # Rebinding the Parent array (the Compressing Module does this
+        # every iteration) invalidates the resolve_roots memo; partial
+        # hardware writes must go through :meth:`write_parent`.
+        if name == "parent":
+            object.__setattr__(self, "_roots_cache", None)
+        object.__setattr__(self, name, value)
 
     @classmethod
     def initial(cls, graph: CSRGraph, cfg: AmstConfig) -> "SimState":
@@ -86,13 +96,42 @@ class SimState:
 
     # ------------------------------------------------------------------
     def resolve_roots(self) -> np.ndarray:
-        """True component root of every vertex (chases frozen chains)."""
+        """True component root of every vertex (chases frozen chains).
+
+        Memoized per iteration: the result is cached until the Parent
+        array changes (rebinding ``state.parent`` or calling
+        :meth:`write_parent`), so repeated calls within one pass are
+        free.  The returned array is read-only — it is shared between
+        callers.
+        """
+        cached = self._roots_cache
+        if cached is None:
+            with self.timers.section("sub.resolve_roots"):
+                cached = self._recompute_roots()
+            cached.setflags(write=False)
+            object.__setattr__(self, "_roots_cache", cached)
+        return cached
+
+    def _recompute_roots(self) -> np.ndarray:
+        """Uncached root resolution by subset pointer jumping.
+
+        Only still-unresolved vertices are chased each pass (frozen IV
+        chains are typically few but long), and each pass doubles the
+        pointer, so the cost is O(unresolved · log depth) instead of the
+        full-array O(n · depth) sweep.
+        """
         cur = self.parent.copy()
-        while True:
-            nxt = self.parent[cur]
-            if np.array_equal(nxt, cur):
-                return cur
-            cur = nxt
+        pending = np.flatnonzero(cur[cur] != cur)
+        while pending.size:
+            cur[pending] = cur[cur[pending]]
+            sub = cur[pending]
+            pending = pending[cur[sub] != sub]
+        return cur
+
+    def write_parent(self, ids: np.ndarray, values: np.ndarray) -> None:
+        """Hardware Parent write: update entries, invalidate the memo."""
+        self.parent[ids] = values
+        object.__setattr__(self, "_roots_cache", None)
 
     def stale_hops(self, ids: np.ndarray) -> tuple[np.ndarray, list[np.ndarray]]:
         """Resolution cost of Parent lookups for endpoint ids.

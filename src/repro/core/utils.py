@@ -12,11 +12,32 @@ import numpy as np
 
 __all__ = [
     "concat_ranges",
+    "count_distinct",
     "segment_offsets",
     "segment_first",
     "segmented_prefix_minima_mask",
     "segmented_count_prefix_minima",
 ]
+
+
+def count_distinct(ids: np.ndarray, upper: int | None = None) -> int:
+    """Number of distinct values in ``ids`` (non-negative integers).
+
+    Sort-free where sizes allow: scatter into a boolean table of size
+    ``upper`` and count — O(ids + upper) instead of ``np.unique``'s
+    O(ids log ids).  When the value space is much larger than the input
+    (table allocation would dominate), falls back to ``np.unique``.
+    """
+    ids = np.asarray(ids)
+    if ids.size == 0:
+        return 0
+    if upper is None:
+        upper = int(ids.max()) + 1
+    if upper <= max(16 * ids.size, 1 << 16):
+        seen = np.zeros(upper, dtype=bool)
+        seen[ids] = True
+        return int(np.count_nonzero(seen))
+    return int(np.unique(ids).size)
 
 
 def concat_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:

@@ -4,7 +4,7 @@ cache constructions."""
 from .direct_cache import DirectHDVCache
 from .hash_cache import HashHDVCache
 from .hbm import BLOCK_BYTES, HBMModel
-from .lru_cache import LRUCache
+from .lru_cache import LRUCache, ScalarLRUCache
 from .multiport import (
     BRAM_KBITS,
     BankedParentCache,
@@ -20,6 +20,7 @@ __all__ = [
     "DirectHDVCache",
     "HashHDVCache",
     "LRUCache",
+    "ScalarLRUCache",
     "CacheStats",
     "BankedParentCache",
     "CacheCost",

@@ -12,8 +12,19 @@ class TestGeomean:
     def test_ignores_nonpositive(self):
         assert geomean([2.0, 8.0, 0.0, -1.0]) == pytest.approx(4.0)
 
-    def test_empty(self):
-        assert geomean([]) == 0.0
+    def test_empty_is_nan(self):
+        import math
+
+        assert math.isnan(geomean([]))
+
+    def test_all_nonpositive_is_nan(self):
+        import math
+
+        assert math.isnan(geomean([0.0, -3.0]))
+
+    def test_nan_renders_as_dash(self):
+        text = format_table("t", ("A",), [(geomean([]),)])
+        assert "—" in text
 
 
 class TestExperimentResult:

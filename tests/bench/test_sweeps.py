@@ -36,9 +36,15 @@ class TestCacheCapacity:
 
 
 class TestCacheOrganization:
-    def test_three_variants(self, social):
+    def test_four_variants_by_default(self, social):
         res = sweep_cache_organization(social, cache_vertices=256,
                                        parallelism=8)
+        assert res.column("Organization") == ["none", "direct", "hash",
+                                              "lru"]
+
+    def test_lru_row_optional(self, social):
+        res = sweep_cache_organization(social, cache_vertices=256,
+                                       parallelism=8, include_lru=False)
         assert res.column("Organization") == ["none", "direct", "hash"]
 
     def test_any_cache_beats_none(self, social):

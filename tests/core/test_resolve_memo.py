@@ -1,0 +1,91 @@
+"""Memoized resolve_roots: correctness and invalidation.
+
+``SimState.resolve_roots`` caches its result until the Parent array
+changes (rebinding ``state.parent`` or :meth:`SimState.write_parent`).
+These tests compare the memoized value against a naive full-array
+pointer-jumping oracle — both standalone and on every call inside a
+complete ``Amst.run``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Amst, AmstConfig, SimState
+from repro.graph import rmat
+from repro.mst import kruskal
+
+
+def naive_roots(parent: np.ndarray) -> np.ndarray:
+    cur = parent.copy()
+    while True:
+        nxt = cur[cur]
+        if np.array_equal(nxt, cur):
+            return cur
+        cur = nxt
+
+
+def _state(n=32, seed=1):
+    g = rmat(5, 6, rng=seed)
+    return SimState.initial(g, AmstConfig.full(4, cache_vertices=32))
+
+
+class TestMemo:
+    def test_matches_naive_on_chains(self):
+        st = _state()
+        # build a few frozen chains: 0<-1<-2<-3, 10<-11, self-loops rest
+        st.parent = np.arange(st.parent.size, dtype=np.int64)
+        st.parent[[1, 2, 3]] = [0, 1, 2]
+        st.parent[11] = 10
+        np.testing.assert_array_equal(st.resolve_roots(),
+                                      naive_roots(st.parent))
+
+    def test_repeated_calls_return_same_object(self):
+        st = _state()
+        assert st.resolve_roots() is st.resolve_roots()
+
+    def test_result_is_readonly(self):
+        st = _state()
+        r = st.resolve_roots()
+        with pytest.raises(ValueError):
+            r[0] = 5
+
+    def test_rebind_invalidates(self):
+        st = _state()
+        st.resolve_roots()
+        p = np.arange(st.parent.size, dtype=np.int64)
+        p[3] = 0
+        st.parent = p
+        got = st.resolve_roots()
+        assert got[3] == 0
+        np.testing.assert_array_equal(got, naive_roots(st.parent))
+
+    def test_write_parent_invalidates(self):
+        st = _state()
+        before = st.resolve_roots()
+        assert before[7] == 7
+        st.write_parent(np.array([7]), np.array([2]))
+        after = st.resolve_roots()
+        assert after is not before
+        assert after[7] == 2
+        np.testing.assert_array_equal(after, naive_roots(st.parent))
+
+
+class TestDuringFullRun:
+    def test_memo_matches_oracle_every_call(self, monkeypatch):
+        """Every resolve_roots() during a real run equals the naive
+        recomputation — the memo is never stale."""
+        calls = {"n": 0}
+        orig = SimState.resolve_roots
+
+        def checked(self):
+            out = orig(self)
+            calls["n"] += 1
+            np.testing.assert_array_equal(out, naive_roots(self.parent))
+            return out
+
+        monkeypatch.setattr(SimState, "resolve_roots", checked)
+        g = rmat(8, 10, rng=2)
+        out = Amst(AmstConfig.full(8, cache_vertices=128)).run(g)
+        assert calls["n"] > 0
+        assert out.result.total_weight == pytest.approx(
+            kruskal(g).total_weight)

@@ -19,6 +19,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_jobs_default_inline(self):
+        assert build_parser().parse_args(["bench"]).jobs == 1
+        assert build_parser().parse_args(["sweep"]).jobs == 1
+
+    def test_profile_host_flag(self):
+        args = build_parser().parse_args(["run", "--profile-host"])
+        assert args.profile_host is True
+
 
 class TestCommands:
     def test_run(self, capsys):
@@ -72,3 +80,21 @@ class TestNewCommands:
     def test_sweep_bad_name(self):
         with pytest.raises(SystemExit):
             main(["sweep", "--sweep", "nonsense"])
+
+    def test_run_profile_host(self, capsys):
+        assert main(["run", "--dataset", "EF", "--scale", "0.25",
+                     "--parallelism", "4", "--profile-host"]) == 0
+        out = capsys.readouterr().out
+        assert "host profile" in out
+        assert "stage.fm" in out and "sub.hbm" in out
+
+    def test_bench_jobs_parallel(self, capsys):
+        assert main(["bench", "--experiment", "table1",
+                     "--scale", "0.25", "--jobs", "2"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_sweep_jobs_parallel(self, capsys):
+        assert main(["sweep", "--sweep", "pipeline", "--dataset", "EF",
+                     "--scale", "0.25", "--cache-vertices", "64",
+                     "--jobs", "2"]) == 0
+        assert "Sweep-pipe" in capsys.readouterr().out
