@@ -3,8 +3,11 @@
 Subcommands::
 
     amst run --dataset RC --parallelism 16      # one accelerator run
+    amst run --dataset RC --self-check          # + per-iteration invariants
     amst bench --experiment fig13 --scale 0.5   # reproduce one exhibit
     amst bench --experiment all                 # reproduce everything
+    amst verify                                 # oracle + golden traces
+    amst verify --update-golden                 # re-bless golden traces
     amst datasets                               # print Table I
     amst resources                              # print Fig 16
 
@@ -35,6 +38,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     g = load(args.dataset, seed=args.seed, size=args.scale)
     cache = args.cache_vertices or default_cache_vertices(args.scale)
     cfg = AmstConfig.full(args.parallelism, cache_vertices=cache)
+    if args.self_check:
+        cfg = cfg.with_(self_check=True)
     out = Amst(cfg).run(g)
     r = out.report
     print(f"dataset      : {args.dataset} "
@@ -55,6 +60,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         validate_mst(g, out.result, reference=kruskal(g))
         print("validation   : forest matches Kruskal (weight-exact)")
+    if args.self_check:
+        print("self-check   : invariants held every iteration "
+              "(union-find, caches, event ledger)")
     if args.profile_host:
         print()
         print(format_host_profile(r.extra["host_timing"]), end="")
@@ -97,6 +105,61 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Differential verification: oracle harness + golden traces.
+
+    Exit status is non-zero on any oracle mismatch or golden drift, so
+    CI can gate on it (see docs/TESTING.md).
+    """
+    from .verify import (
+        GOLDEN_CASES,
+        check_golden,
+        run_oracle,
+        update_golden,
+    )
+
+    names = args.case or list(GOLDEN_CASES)
+    unknown = [n for n in names if n not in GOLDEN_CASES]
+    if unknown:
+        print(f"unknown golden case(s): {', '.join(unknown)}; "
+              f"available: {', '.join(GOLDEN_CASES)}")
+        return 2
+
+    if args.update_golden:
+        for path in update_golden(
+            names, directory=args.golden_dir, jobs=args.jobs
+        ):
+            print(f"blessed {path}")
+        return 0
+
+    failures = 0
+    if not args.skip_oracle:
+        for name in names:
+            graph = GOLDEN_CASES[name].graph_fn()
+            report = run_oracle(graph)
+            status = "ok" if report.ok else "MISMATCH"
+            print(f"oracle {name:<18s} {status}")
+            if not report.ok:
+                failures += 1
+                print(report.format())
+
+    diffs = check_golden(names, directory=args.golden_dir, jobs=args.jobs)
+    drifted = {d.name for d in diffs}
+    for name in names:
+        status = "DRIFT" if name in drifted else "ok"
+        print(f"golden {name:<18s} {status}")
+    for d in diffs:
+        failures += 1
+        print(d)
+    if failures:
+        print(f"verify: {failures} failure(s)")
+        return 1
+    print(f"verify: {len(names)} case(s) ok "
+          f"(oracle {'skipped' if args.skip_oracle else 'passed'}, "
+          f"golden traces match)")
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     print(bench.table1_datasets(size=args.scale, seed=args.seed).to_text())
     return 0
@@ -123,6 +186,8 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--seed", type=int, default=0)
     pr.add_argument("--validate", action="store_true",
                     help="check the forest against Kruskal")
+    pr.add_argument("--self-check", action="store_true",
+                    help="validate simulator invariants every iteration")
     pr.add_argument("--profile-host", action="store_true",
                     help="print host wall-clock per stage/subsystem")
     pr.set_defaults(func=_cmd_run)
@@ -135,6 +200,23 @@ def build_parser() -> argparse.ArgumentParser:
     pb.add_argument("--jobs", type=int, default=1,
                     help="worker processes (1 = run inline)")
     pb.set_defaults(func=_cmd_bench)
+
+    pv = sub.add_parser(
+        "verify", help="differential oracle + golden-trace regression"
+    )
+    pv.add_argument("--case", action="append", default=None,
+                    metavar="NAME",
+                    help="golden case to verify (repeatable; default all)")
+    pv.add_argument("--update-golden", action="store_true",
+                    help="re-bless the golden trace snapshots")
+    pv.add_argument("--skip-oracle", action="store_true",
+                    help="only compare golden traces")
+    pv.add_argument("--golden-dir", default=None,
+                    help="golden directory (default tests/golden, "
+                         "or $AMST_GOLDEN_DIR)")
+    pv.add_argument("--jobs", type=int, default=1,
+                    help="worker processes (1 = run inline)")
+    pv.set_defaults(func=_cmd_verify)
 
     pd = sub.add_parser("datasets", help="print the Table I suite")
     pd.add_argument("--scale", type=float, default=1.0)

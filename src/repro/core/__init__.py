@@ -6,6 +6,11 @@ from .events import EventLog, IterationEvents
 from .fpe_reference import FpeResult, fpe_scan_vertex, reference_finding_pass
 from .perf import PerfReport, build_report, fpga_power_watts
 from .resources import U280, ResourceReport, estimate_resources
+from .selfcheck import (
+    SelfCheckError,
+    check_report_consistency,
+    check_state_invariants,
+)
 from .scale_out import (
     ScaleOutReport,
     ScaleOutResult,
@@ -43,6 +48,9 @@ __all__ = [
     "ResourceReport",
     "estimate_resources",
     "U280",
+    "SelfCheckError",
+    "check_state_invariants",
+    "check_report_consistency",
     "SortingNetwork",
     "bitonic_sort_pairs",
     "bitonic_stage_count",

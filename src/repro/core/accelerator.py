@@ -34,6 +34,7 @@ from .events import EventLog
 from .finding import run_finding
 from .perf import PerfReport, build_report
 from .rape import run_rape
+from .selfcheck import check_report_consistency
 from .state import SimState
 from .timing import CACHE_METHODS, HBM_METHODS, TimedSubsystem
 
@@ -129,6 +130,8 @@ class Amst:
             state.reset_minedge()
             ev.parent_cache_utilization = state.parent_cache.utilization()
             ev.minedge_cache_utilization = state.minedge_cache.utilization()
+            if cfg.self_check:
+                state.check_invariants(log)
 
         edge_ids = (
             np.concatenate(mst_chunks)
@@ -145,6 +148,9 @@ class Amst:
             extras={"config": cfg},
         )
         report = build_report(log, cfg, g.num_edges)
+        if cfg.self_check:
+            state.check_invariants(log)
+            check_report_consistency(log, report)
         report.extra["host_timing"] = timers.snapshot()
         return AmstOutput(
             result=result,

@@ -65,6 +65,9 @@ class AmstConfig:
     merge_rm_am: bool = True  # RAPE pipeline merge (Fig 8)
     overlap_fm_cm: bool = True  # bit-marking cross-iteration overlap
 
+    # --- verification (docs/TESTING.md) ---
+    self_check: bool = False  # validate invariants every iteration
+
     # --- memory geometry ---
     edge_bytes: int = 8  # 4B dest + 4B weight (Section VI-A-2)
     parent_bytes: int = 4  # vertex id (+ packed IV/it_idx bits)

@@ -299,7 +299,9 @@ def _commit_minedge(
     ev.add("fm.minedge_writer_reads", writer_inputs)
     ev.add("fm.minedge_writer_commits", commits)
 
-    wrote = state.minedge_cache.write(np.unique(comp))
+    updated = np.unique(comp)
+    ev.add("fm.minedge_updates", updated.size)
+    wrote = state.minedge_cache.write(updated)
     dram_w = int(np.count_nonzero(~np.asarray(wrote)))
     ev.add("mem.fm_minedge_wb_blocks",
            state.hbm.access_random("fm.minedge_wb", dram_w,

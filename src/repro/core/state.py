@@ -155,6 +155,21 @@ class SimState:
             hop_ids.append(cur[unresolved])
             cur = np.where(unresolved, nxt, cur)
 
+    def check_invariants(self, log=None) -> None:
+        """Validate the simulator's structural invariants (self-check).
+
+        Raises :class:`~repro.core.selfcheck.SelfCheckError` listing
+        every violation; see ``repro.core.selfcheck`` for the invariant
+        families.  Passing the run's :class:`~repro.core.events.EventLog`
+        additionally reconciles the event ledger against the cache
+        counters and the component count.  Read-only: event counts and
+        cache statistics are unchanged by the check.
+        """
+        from .selfcheck import check_state_invariants
+
+        with self.timers.section("sub.self_check"):
+            check_state_invariants(self, log)
+
     def reset_minedge(self) -> None:
         """Stage-3 ``Update(MinEdge, ...)``: clear the table for the next
         iteration (entries of live roots only; dead entries were already

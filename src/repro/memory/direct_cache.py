@@ -39,6 +39,7 @@ class DirectHDVCache:
         ids = np.asarray(ids, dtype=np.int64)
         hits = ids < self.vt
         nh = int(np.count_nonzero(hits))
+        self.stats.accesses += ids.size
         self.stats.hits += nh
         self.stats.misses += ids.size - nh
         return hits
@@ -50,6 +51,7 @@ class DirectHDVCache:
         if cached.any():
             self._live[ids[cached]] = True
         nc = int(np.count_nonzero(cached))
+        self.stats.writes += ids.size
         self.stats.cache_writes += nc
         self.stats.dram_writes += ids.size - nc
         return cached

@@ -53,6 +53,7 @@ class HashHDVCache:
         slots, batches = self._split(ids)
         hits = self._tag[slots] == batches
         nh = int(np.count_nonzero(hits))
+        self.stats.accesses += slots.size
         self.stats.hits += nh
         self.stats.misses += slots.size - nh
         return hits
@@ -70,6 +71,7 @@ class HashHDVCache:
             self._tag[slots[claim]] = batches[claim]
         cached = self._tag[slots] == batches
         nc = int(np.count_nonzero(cached))
+        self.stats.writes += slots.size
         self.stats.cache_writes += nc
         self.stats.dram_writes += slots.size - nc
         return cached

@@ -57,6 +57,7 @@ class _LRUBase:
         ids = np.asarray(ids, dtype=np.int64)
         hits = self._replay(ids)
         nh = int(np.count_nonzero(hits))
+        self.stats.accesses += ids.size
         self.stats.hits += nh
         self.stats.misses += ids.size - nh
         return hits
@@ -65,6 +66,7 @@ class _LRUBase:
         """Write-allocate: every write lands in the cache."""
         ids = np.asarray(ids, dtype=np.int64)
         self._replay(ids)
+        self.stats.writes += ids.size
         self.stats.cache_writes += ids.size
         return np.ones(ids.size, dtype=bool)
 
@@ -163,6 +165,9 @@ class LRUCache(_LRUBase):
                 is_hit, hit_rows.argmax(axis=1), stamps[:a].argmin(axis=1)
             )
             flat = row_base[:a] + way
+            self.stats.evictions += int(
+                np.count_nonzero(~is_hit & (tags_flat[flat] >= 0))
+            )
             tags_flat[flat] = v
             stamps_flat[flat] = clks[r, :a]
             hit_mat[r, :a] = is_hit
@@ -186,6 +191,8 @@ class ScalarLRUCache(_LRUBase):
             self._stamp[s, hit_way[0]] = self._clock
             return True
         victim = int(np.argmin(self._stamp[s]))
+        if self._tags[s, victim] >= 0:
+            self.stats.evictions += 1
         self._tags[s, victim] = vid
         self._stamp[s, victim] = self._clock
         return False

@@ -1,4 +1,18 @@
-"""Shared cache counters."""
+"""Shared cache counters.
+
+``accesses`` and ``writes`` are counted *independently* of the
+hit/miss and cache/DRAM splits (one increment per id presented to
+``lookup`` / ``write``), so the conservation laws
+
+* ``hits + misses == accesses``
+* ``cache_writes + dram_writes == writes``
+* ``evictions <= misses + writes`` (only replacement caches evict)
+
+are redundant cross-checks rather than tautologies: a model that
+drops or double-counts an access breaks them.  The simulator
+self-check mode (``repro.core.selfcheck``) asserts them after every
+iteration.
+"""
 
 from __future__ import annotations
 
@@ -9,13 +23,16 @@ __all__ = ["CacheStats"]
 
 @dataclass
 class CacheStats:
-    """Hit/miss/write accounting common to both HDV cache variants."""
+    """Hit/miss/write accounting common to all cache models."""
 
     hits: int = 0
     misses: int = 0
     cache_writes: int = 0
     dram_writes: int = 0
     invalidations: int = 0
+    accesses: int = 0  # independent lookup tally (conservation check)
+    writes: int = 0  # independent write tally (conservation check)
+    evictions: int = 0  # valid lines displaced (LRU only; HDV never evicts)
 
     @property
     def lookups(self) -> int:
@@ -31,6 +48,43 @@ class CacheStats:
         """Off-chip accesses this cache failed to absorb (reads + writes)."""
         return self.misses + self.dram_writes
 
+    def conservation_violations(self) -> list[str]:
+        """Broken conservation laws, as human-readable descriptions."""
+        out = []
+        counters = {
+            "hits": self.hits, "misses": self.misses,
+            "cache_writes": self.cache_writes,
+            "dram_writes": self.dram_writes,
+            "invalidations": self.invalidations,
+            "accesses": self.accesses, "writes": self.writes,
+            "evictions": self.evictions,
+        }
+        for name, value in counters.items():
+            if value < 0:
+                out.append(f"negative counter {name} = {value}")
+        if self.hits + self.misses != self.accesses:
+            out.append(
+                f"hits ({self.hits}) + misses ({self.misses}) != "
+                f"accesses ({self.accesses})"
+            )
+        if self.cache_writes + self.dram_writes != self.writes:
+            out.append(
+                f"cache_writes ({self.cache_writes}) + dram_writes "
+                f"({self.dram_writes}) != writes ({self.writes})"
+            )
+        if self.evictions > self.misses + self.writes:
+            out.append(
+                f"evictions ({self.evictions}) > misses ({self.misses}) "
+                f"+ writes ({self.writes})"
+            )
+        return out
+
+    def as_tuple(self) -> tuple[int, ...]:
+        """Counter snapshot for monotonicity checks (fixed field order)."""
+        return (self.hits, self.misses, self.cache_writes,
+                self.dram_writes, self.invalidations, self.accesses,
+                self.writes, self.evictions)
+
     def merged_with(self, other: "CacheStats") -> "CacheStats":
         return CacheStats(
             hits=self.hits + other.hits,
@@ -38,4 +92,7 @@ class CacheStats:
             cache_writes=self.cache_writes + other.cache_writes,
             dram_writes=self.dram_writes + other.dram_writes,
             invalidations=self.invalidations + other.invalidations,
+            accesses=self.accesses + other.accesses,
+            writes=self.writes + other.writes,
+            evictions=self.evictions + other.evictions,
         )

@@ -1,0 +1,56 @@
+"""Differential verification subsystem (docs/TESTING.md).
+
+Three independent layers, strongest first:
+
+* :mod:`repro.verify.oracle` — cross-implementation differential
+  harness: the simulator vs. every reference MST algorithm, exact
+  canonical edge-set equality plus a first-principles certificate;
+* the simulator **self-check mode** (``AmstConfig.self_check`` /
+  ``amst run --self-check``, implemented in ``repro.core.selfcheck``) —
+  structural and conservation invariants validated every iteration;
+* :mod:`repro.verify.golden` — byte-stable golden traces of canonical
+  runs under ``tests/golden/``, recomputed serially or in parallel.
+
+:mod:`repro.verify.strategies` (imported lazily — it needs hypothesis)
+supplies the adversarial graph generators shared by the property tests.
+"""
+
+from .golden import (
+    GOLDEN_CASES,
+    GoldenCase,
+    GoldenDiff,
+    check_golden,
+    compute_golden_record,
+    compute_golden_records,
+    golden_dir,
+    serialize_record,
+    update_golden,
+)
+from .oracle import (
+    ORACLE_CONFIGS,
+    REFERENCES,
+    OracleEntry,
+    OracleMismatch,
+    OracleReport,
+    exact_forest_weight,
+    run_oracle,
+)
+
+__all__ = [
+    "REFERENCES",
+    "ORACLE_CONFIGS",
+    "OracleEntry",
+    "OracleMismatch",
+    "OracleReport",
+    "exact_forest_weight",
+    "run_oracle",
+    "GOLDEN_CASES",
+    "GoldenCase",
+    "GoldenDiff",
+    "check_golden",
+    "compute_golden_record",
+    "compute_golden_records",
+    "golden_dir",
+    "serialize_record",
+    "update_golden",
+]

@@ -1,0 +1,124 @@
+"""Shared Hypothesis strategies for adversarial MST inputs.
+
+One place (instead of per-test ad-hoc generators) for the graph shapes
+that historically break MST implementations:
+
+* **multigraphs** — parallel edges between the same endpoint pair
+  (``from_edges(..., dedup=False)`` keeps them; the tie-break decides
+  which survives into the canonical MST);
+* **self-loops** — never in any MST, must be skipped everywhere;
+* **duplicate weights** — small integer weight pools force heavy
+  tie-breaking, the classic source of cross-implementation divergence;
+* **near-degenerate weights** — values separated by ~1 ULP so any
+  implementation that compares after lossy accumulation disagrees;
+* **disconnected forests** — many components, isolated vertices, and
+  the 0-/1-vertex degenerate graphs.
+
+Import hypothesis lazily: importing :mod:`repro.verify` must not
+require hypothesis (the CLI uses only the oracle/golden layers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import strategies as st
+
+from ..graph import from_edges
+
+__all__ = ["graphs", "forests", "WEIGHT_PROFILES"]
+
+#: weight-drawing profiles, keyed by the name ``graphs()`` draws from
+WEIGHT_PROFILES = (
+    "unique",  # a shuffled permutation of 1..m — no ties at all
+    "duplicate",  # integers from a tiny pool — ties everywhere
+    "degenerate",  # every weight identical — the MST is pure tie-break
+    "near-degenerate",  # 1.0 ± a few ULPs — breaks lossy comparisons
+    "mixed",  # ties among floats of varying magnitude
+)
+
+
+def _weights(draw, m: int, profile: str) -> np.ndarray:
+    if profile == "unique":
+        perm = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+        return perm.permutation(m) + 1.0
+    if profile == "duplicate":
+        pool = draw(st.integers(1, 4))
+        vals = draw(
+            st.lists(st.integers(1, pool), min_size=m, max_size=m)
+        )
+        return np.array(vals, dtype=np.float64)
+    if profile == "degenerate":
+        return np.full(m, float(draw(st.integers(1, 9))))
+    if profile == "near-degenerate":
+        ulps = draw(st.lists(st.integers(0, 3), min_size=m, max_size=m))
+        w = np.full(m, 1.0)
+        for i, k in enumerate(ulps):
+            for _ in range(k):
+                w[i] = np.nextafter(w[i], 2.0)
+        return w
+    # mixed: floats from a small pool spanning magnitudes, ties likely
+    pool = [0.5, 1.0, 1.0, 2.5, 1e-3, 1e3]
+    idx = draw(
+        st.lists(st.integers(0, len(pool) - 1), min_size=m, max_size=m)
+    )
+    return np.array([pool[i] for i in idx], dtype=np.float64)
+
+
+@st.composite
+def graphs(
+    draw,
+    *,
+    min_vertices: int = 0,
+    max_vertices: int = 24,
+    max_edges: int = 60,
+    self_loops: bool = True,
+    parallel_edges: bool = True,
+):
+    """Adversarial undirected graphs as :class:`~repro.graph.csr.CSRGraph`.
+
+    Defaults allow *everything* — empty graphs, isolated vertices,
+    self-loops, parallel edges, and every weight profile.  Flags turn
+    off loop/multi-edge generation for callers whose subject can't
+    accept them.
+    """
+    n = draw(st.integers(min_vertices, max_vertices))
+    if n == 0:
+        return from_edges(0, np.empty(0, np.int64), np.empty(0, np.int64),
+                          np.empty(0, np.float64), dedup=False)
+    m = draw(st.integers(0, max_edges))
+    u = np.array(
+        draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m)),
+        dtype=np.int64,
+    )
+    v = np.array(
+        draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m)),
+        dtype=np.int64,
+    )
+    if not self_loops and m:
+        # redirect loops to the next vertex (n >= 2 whenever u != empty
+        # loops exist to redirect; for n == 1 drop the edges instead)
+        if n == 1:
+            u = v = np.empty(0, np.int64)
+            m = 0
+        else:
+            loop = u == v
+            v[loop] = (v[loop] + 1) % n
+    w = _weights(draw, int(u.size), draw(st.sampled_from(WEIGHT_PROFILES)))
+    return from_edges(n, u, v, w, dedup=not parallel_edges)
+
+
+@st.composite
+def forests(draw, *, max_vertices: int = 32):
+    """Random rooted forests as parent arrays (roots point to self).
+
+    Useful for exercising union-find / pointer-jumping code on valid
+    inputs: every non-root parent has a strictly smaller index, so the
+    structure is acyclic by construction.  Includes single-vertex trees
+    and fully isolated forests.
+    """
+    n = draw(st.integers(1, max_vertices))
+    parent = np.arange(n, dtype=np.int64)
+    for vtx in range(1, n):
+        if draw(st.booleans()):
+            parent[vtx] = draw(st.integers(0, vtx - 1))
+    return parent

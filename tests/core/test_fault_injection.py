@@ -10,12 +10,17 @@ Two invariants a hardware team relies on:
    intra-edge flags (marking a *external* edge intra) makes the simulator
    produce a non-minimal forest, and `validate_mst` /
    `certify_minimum_forest` must both detect it.
+3. **`--self-check` catches corrupted state mid-run** — flipping a
+   parent pointer or undercounting a cache hit during the run raises
+   `SelfCheckError` at the next iteration boundary when the mode is on,
+   while the same corrupted run completes silently with it off
+   (docs/TESTING.md, satellite of the verification subsystem).
 """
 
 import numpy as np
 import pytest
 
-from repro.core import Amst, AmstConfig
+from repro.core import Amst, AmstConfig, SelfCheckError
 from repro.core.state import SimState
 from repro.graph import preprocess, rmat
 from repro.mst import certify_minimum_forest, kruskal, validate_mst
@@ -126,3 +131,91 @@ class TestValidatorsCatchSeededBugs:
                              good.num_components)
         with pytest.raises(AssertionError, match="claimed weight"):
             validate_mst(g, tampered)
+
+
+class UndercountingCache:
+    """Wraps a cache and silently drops one recorded hit mid-run.
+
+    Models a bookkeeping bug, not a functional one: the lookup answers
+    stay correct, only `stats.hits` is decremented once — exactly the
+    fault the cache conservation law (hits + misses == accesses) exists
+    to catch.
+    """
+
+    def __init__(self, inner):
+        self._inner = inner
+        self._corrupted = False
+
+    def lookup(self, ids):
+        hits = self._inner.lookup(ids)
+        if not self._corrupted and self._inner.stats.hits > 0:
+            self._inner.stats.hits -= 1
+            self._corrupted = True
+        return hits
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _run_with_corruption(corrupt_initial, *, self_check, seed=5):
+    """Run rmat(8,6) with a sabotaged `SimState.initial`."""
+    g = rmat(8, 6, rng=seed)
+    cfg = AmstConfig.full(4, cache_vertices=64).with_(
+        self_check=self_check)
+    original = SimState.initial.__func__
+    try:
+        SimState.initial = classmethod(corrupt_initial(original))
+        return Amst(cfg).run(g)
+    finally:
+        SimState.initial = classmethod(original)
+
+
+class TestSelfCheckCatchesCorruptedState:
+    """Satellite S3: the opt-in mode turns silent corruption into errors."""
+
+    @staticmethod
+    def _undercounting(original):
+        def initial(cls, graph, config):
+            st = original(cls, graph, config)
+            st.parent_cache = UndercountingCache(st.parent_cache)
+            return st
+        return initial
+
+    @staticmethod
+    def _parent_flipping(original):
+        def initial(cls, graph, config):
+            st = original(cls, graph, config)
+            inner_reset = st.reset_minedge
+            state = {"done": False}
+
+            def corrupting_reset():
+                inner_reset()
+                # after the first iteration committed, silently splice
+                # one root under another — a plausible CM write-path bug
+                if not state["done"] and st.roots.size >= 2:
+                    state["done"] = True
+                    st.parent[int(st.roots[0])] = int(st.roots[1])
+            st.reset_minedge = corrupting_reset
+            return st
+        return initial
+
+    def test_undercounted_hit_raises_with_self_check(self):
+        with pytest.raises(SelfCheckError, match="hits"):
+            _run_with_corruption(self._undercounting, self_check=True)
+
+    def test_undercounted_hit_is_silent_without_self_check(self):
+        out = _run_with_corruption(self._undercounting, self_check=False)
+        # the *forest* is still correct — only the books are cooked,
+        # which is precisely why the run completes without the mode
+        validate_mst(rmat(8, 6, rng=5), out.result,
+                     reference=kruskal(rmat(8, 6, rng=5)))
+
+    def test_flipped_parent_pointer_raises_with_self_check(self):
+        with pytest.raises(SelfCheckError, match="[Rr]oot"):
+            _run_with_corruption(self._parent_flipping, self_check=True)
+
+    def test_flipped_parent_pointer_is_silent_without_self_check(self):
+        # the corrupted run terminates (the splice is a spurious union,
+        # not a cycle) — without self-check nothing complains in-flight
+        out = _run_with_corruption(self._parent_flipping, self_check=False)
+        assert out.result.iterations >= 1

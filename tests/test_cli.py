@@ -98,3 +98,54 @@ class TestNewCommands:
                      "--scale", "0.25", "--cache-vertices", "64",
                      "--jobs", "2"]) == 0
         assert "Sweep-pipe" in capsys.readouterr().out
+
+
+class TestVerifyCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["verify"])
+        assert args.update_golden is False
+        assert args.case is None
+        assert args.jobs == 1
+
+    def test_run_self_check_flag(self, capsys):
+        assert main(["run", "--dataset", "EF", "--scale", "0.1",
+                     "--parallelism", "4", "--self-check"]) == 0
+        assert "self-check" in capsys.readouterr().out
+
+    def test_verify_single_case_against_blessed(self, capsys):
+        assert main(["verify", "--case", "paper-full"]) == 0
+        out = capsys.readouterr().out
+        assert "oracle paper-full" in out
+        assert "golden paper-full" in out
+        assert "ok" in out
+
+    def test_verify_unknown_case_exits_2(self, capsys):
+        assert main(["verify", "--case", "nope"]) == 2
+        assert "unknown golden case" in capsys.readouterr().out
+
+    def test_verify_update_golden_to_tmpdir(self, capsys, tmp_path):
+        assert main(["verify", "--update-golden",
+                     "--case", "paper-full",
+                     "--golden-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "paper-full.json").exists()
+        assert "blessed" in capsys.readouterr().out
+        # and the freshly-blessed dir verifies clean
+        assert main(["verify", "--case", "paper-full", "--skip-oracle",
+                     "--golden-dir", str(tmp_path)]) == 0
+
+    def test_verify_exits_nonzero_on_drift(self, capsys, tmp_path):
+        main(["verify", "--update-golden", "--case", "paper-full",
+              "--golden-dir", str(tmp_path)])
+        path = tmp_path / "paper-full.json"
+        path.write_text(path.read_text().replace(
+            '"total_weight"', '"total_weight_drifted"'))
+        capsys.readouterr()
+        assert main(["verify", "--case", "paper-full", "--skip-oracle",
+                     "--golden-dir", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "DRIFT" in out and "failure" in out
+
+    def test_verify_missing_golden_exits_nonzero(self, capsys, tmp_path):
+        assert main(["verify", "--case", "rmat-full", "--skip-oracle",
+                     "--golden-dir", str(tmp_path)]) == 1
+        assert "missing" in capsys.readouterr().out

@@ -1,0 +1,51 @@
+"""Property tests: the oracle harness over adversarial generated graphs.
+
+Satellite S2: hypothesis drives :func:`repro.verify.run_oracle` with the
+shared strategies across simulator configurations spanning the ablation
+axes — HDV cache on/off, intra pruning on/off, and both buildable cache
+organisations.  Any disagreement fails with the structured oracle diff.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.verify import ORACLE_CONFIGS, run_oracle
+from repro.verify.strategies import graphs
+
+PROPERTY_CONFIGS = {
+    "full": ORACLE_CONFIGS["full"],  # HDV + hash cache + pruning
+    "no-hdc": ORACLE_CONFIGS["no-hdc"],  # HDV off
+    "no-pruning": ORACLE_CONFIGS["no-pruning"],  # SIE/SIV/SEW off
+    "direct-cache": ORACLE_CONFIGS["direct-cache"],  # direct-mapped org
+}
+
+SWEEP = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestOracleProperties:
+    @SWEEP
+    @given(graphs(max_vertices=16, max_edges=36))
+    def test_adversarial_graphs_agree_across_configs(self, g):
+        report = run_oracle(g, PROPERTY_CONFIGS)
+        if not report.ok:
+            pytest.fail(report.format())
+
+    @SWEEP
+    @given(graphs(max_vertices=12, max_edges=28,
+                  self_loops=False, parallel_edges=False))
+    def test_simple_graphs_agree(self, g):
+        report = run_oracle(g, PROPERTY_CONFIGS)
+        if not report.ok:
+            pytest.fail(report.format())
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(graphs(min_vertices=0, max_vertices=3, max_edges=6))
+    def test_degenerate_sizes_agree(self, g):
+        report = run_oracle(g, PROPERTY_CONFIGS)
+        if not report.ok:
+            pytest.fail(report.format())

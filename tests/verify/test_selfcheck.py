@@ -1,0 +1,120 @@
+"""Simulator self-check mode: clean runs pass, invariants are real.
+
+Fault-injection proving the checks *fire* lives in
+``tests/core/test_fault_injection.py``; here we pin down the opt-in
+surface (config flag, ``SimState.check_invariants``) and that the mode
+is observationally free: golden traces are identical with it on or off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Amst,
+    AmstConfig,
+    SelfCheckError,
+    check_report_consistency,
+    check_state_invariants,
+)
+from repro.graph import paper_example, rmat, road_lattice
+
+CONFIGS = {
+    "full": AmstConfig.full(4, cache_vertices=16),
+    "baseline": AmstConfig.baseline(cache_vertices=16),
+    "no-hdc": AmstConfig(parallelism=2, cache_vertices=16,
+                         use_hdc=False, hash_cache=False),
+    "lru": AmstConfig.full(4, cache_vertices=16).with_(
+        hash_cache=False, lru_cache=True),
+}
+
+
+class TestCleanRunsPass:
+    @pytest.mark.parametrize("name", sorted(CONFIGS))
+    def test_self_check_passes_across_configs(self, name):
+        cfg = CONFIGS[name].with_(self_check=True)
+        g = rmat(6, 5, rng=11)
+        out = Amst(cfg).run(g)  # raises SelfCheckError on any violation
+        assert out.result.iterations >= 1
+
+    def test_self_check_passes_on_forest_graph(self, forest_graph):
+        cfg = CONFIGS["full"].with_(self_check=True)
+        Amst(cfg).run(forest_graph)
+
+    def test_post_run_state_still_validates(self):
+        out = Amst(CONFIGS["full"]).run(paper_example())
+        out.state.check_invariants(out.log)  # explicit post-hoc call
+        check_report_consistency(out.log, out.report)
+
+    def test_self_check_does_not_change_observable_behaviour(self):
+        """The mode must be read-only: identical forest, events, report."""
+        g = road_lattice(6, 6, rng=4)
+        plain = Amst(CONFIGS["full"]).run(g)
+        checked = Amst(CONFIGS["full"].with_(self_check=True)).run(g)
+        assert np.array_equal(plain.result.edge_ids,
+                              checked.result.edge_ids)
+        assert plain.report.total_cycles == checked.report.total_cycles
+        assert plain.report.dram_blocks == checked.report.dram_blocks
+        assert [ev.counts for ev in plain.log.iterations] == [
+            ev.counts for ev in checked.log.iterations
+        ]
+
+
+class TestInvariantViolationsAreCaught:
+    def _finished(self):
+        return Amst(CONFIGS["full"]).run(rmat(6, 5, rng=11))
+
+    def test_parent_cycle_is_detected(self):
+        out = self._finished()
+        st = out.state
+        root = int(st.roots[0])
+        other = int(np.flatnonzero(np.arange(st.parent.size) != root)[0])
+        st.parent[root] = other
+        st.parent[other] = root
+        with pytest.raises(SelfCheckError, match="cycle|converge"):
+            st.check_invariants()
+
+    def test_stale_root_list_is_detected(self):
+        out = self._finished()
+        st = out.state
+        # invent a new fixed point the Root list doesn't know about
+        stray = int(np.flatnonzero(st.parent != np.arange(
+            st.parent.size))[0])
+        st.parent[stray] = stray
+        with pytest.raises(SelfCheckError, match="[Rr]oot"):
+            st.check_invariants()
+
+    def test_cache_conservation_violation_is_detected(self):
+        out = self._finished()
+        st = out.state
+        st.parent_cache.stats.hits -= 1  # the undercounted hit of S3
+        with pytest.raises(SelfCheckError, match="hits"):
+            st.check_invariants()
+
+    def test_ledger_report_divergence_is_detected(self):
+        out = self._finished()
+        out.report.dram_blocks += 1
+        with pytest.raises(SelfCheckError, match="DRAM"):
+            check_report_consistency(out.log, out.report)
+
+    def test_minedge_table_corruption_is_detected(self):
+        out = self._finished()
+        st = out.state
+        st.me_weight[0] = 1.5  # live weight but null eid/target
+        with pytest.raises(SelfCheckError, match="[Mm]in[Ee]dge"):
+            st.check_invariants()
+
+    def test_error_lists_every_violation(self):
+        out = self._finished()
+        st = out.state
+        st.parent_cache.stats.hits -= 1
+        st.me_weight[0] = 1.5
+        with pytest.raises(SelfCheckError) as exc:
+            st.check_invariants()
+        msg = str(exc.value)
+        assert "hits" in msg and "MinEdge" in msg
+
+
+class TestDirectApi:
+    def test_check_state_invariants_importable_from_core(self):
+        out = Amst(CONFIGS["full"]).run(paper_example())
+        check_state_invariants(out.state, out.log)

@@ -1,0 +1,58 @@
+"""The shared adversarial-input strategies generate what they promise."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+
+from repro.graph.csr import CSRGraph
+from repro.verify.strategies import WEIGHT_PROFILES, forests, graphs
+
+FAST = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestGraphs:
+    @FAST
+    @given(graphs())
+    def test_produces_valid_csr_graphs(self, g):
+        assert isinstance(g, CSRGraph)
+        assert 0 <= g.num_vertices <= 24
+        if g.num_edges:
+            u, v, w = g.edge_endpoints()
+            assert u.min() >= 0 and v.max() < g.num_vertices
+            assert np.all(np.isfinite(w))
+
+    @FAST
+    @given(graphs(self_loops=False, min_vertices=1))
+    def test_self_loop_flag_removes_loops(self, g):
+        if g.num_edges:
+            u, v, _ = g.edge_endpoints()
+            assert np.all(u != v)
+
+    @FAST
+    @given(graphs(parallel_edges=False, min_vertices=1))
+    def test_parallel_edge_flag_dedups(self, g):
+        if g.num_edges:
+            u, v, _ = g.edge_endpoints()
+            lo, hi = np.minimum(u, v), np.maximum(u, v)
+            pairs = set(zip(lo.tolist(), hi.tolist()))
+            assert len(pairs) == g.num_edges  # no duplicates survive
+            assert np.all(u != v)  # dedup also drops loops
+
+    def test_weight_profiles_cover_the_degenerate_axis(self):
+        assert "degenerate" in WEIGHT_PROFILES
+        assert "near-degenerate" in WEIGHT_PROFILES
+        assert "duplicate" in WEIGHT_PROFILES
+
+
+class TestForests:
+    @FAST
+    @given(forests())
+    def test_parents_are_acyclic_by_construction(self, parent):
+        n = parent.size
+        assert np.all((parent >= 0) & (parent < n))
+        # non-roots strictly decrease, so walking up always terminates
+        nonroot = parent != np.arange(n)
+        assert np.all(parent[nonroot] < np.flatnonzero(nonroot))
