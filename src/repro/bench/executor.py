@@ -13,7 +13,13 @@ output *byte-identical* to a serial run:
 * **ordered collection** — futures are gathered in submission order, so
   stdout ordering matches ``--jobs 1`` exactly;
 * **inline fallback** — ``jobs <= 1`` runs every task in-process with
-  the same code path, which is what makes the parity testable.
+  the same code path, which is what makes the parity testable;
+* **zero-copy inputs** — graph-consuming surfaces (sweeps, golden
+  recomputation, the oracle, scale-out) publish their CSR arrays once
+  through :mod:`repro.graph.shm` and pass workers lightweight handles,
+  so no multi-MB array is pickled per task; when shared memory is
+  unavailable the handle *is* the graph and pickling resumes silently
+  (modulo one logged warning).
 
 Wall-clock measurements inside a task (Table II, Fig 3a) are real time
 and naturally vary run-to-run; everything count- or cycle-based is
@@ -131,22 +137,22 @@ def run_experiments(
 
 
 def _sweep_task(
-    name: str, *, dataset: str, size: float, base_seed: int,
-    cache_vertices: int | None,
+    name: str, *, graph, cache_vertices: int, base_seed: int,
 ) -> ExperimentResult:
-    """Worker body for one sweep: load the graph locally, derive the seed.
+    """Worker body for one sweep.
 
-    Module-level (picklable) on purpose; the graph is built inside the
-    worker from ``(dataset, base_seed, size)`` instead of being shipped
-    through the pool.
+    Module-level (picklable) on purpose.  ``graph`` is either a
+    :class:`~repro.graph.shm.SharedGraphHandle` (the zero-copy path —
+    the parent published the CSR arrays once and every worker attaches
+    read-only views) or a plain :class:`~repro.graph.csr.CSRGraph` on
+    the inline / fallback path.
     """
+    from ..graph.shm import resolve_graph
     from .sweeps import SWEEPS
 
-    g = load(dataset, seed=base_seed, size=size)
-    cache = cache_vertices or default_cache_vertices(size)
     return _call_filtered(SWEEPS[name], {
-        "graph": g,
-        "cache_vertices": cache,
+        "graph": resolve_graph(graph),
+        "cache_vertices": cache_vertices,
         "seed": derive_task_seed(base_seed, f"sweep.{name}"),
     })
 
@@ -155,12 +161,28 @@ def run_sweeps(
     names: list[str], *, dataset: str, size: float = 1.0, seed: int = 0,
     cache_vertices: int | None = None, jobs: int = 1,
 ) -> list[ExperimentResult]:
-    """Run the named sweeps (keys of ``sweeps.SWEEPS``) in order."""
-    tasks = [
-        TaskSpec(key=f"sweep.{name}", fn=_sweep_task, kwargs={
-            "name": name, "dataset": dataset, "size": size,
-            "base_seed": seed, "cache_vertices": cache_vertices,
-        })
-        for name in names
-    ]
-    return [r for group in execute(tasks, jobs=jobs) for r in group]
+    """Run the named sweeps (keys of ``sweeps.SWEEPS``) in order.
+
+    The dataset is built *once* in the parent (all sweeps share it) and,
+    on the ``--jobs N`` path, published through the shared-memory graph
+    store so workers attach the CSR arrays instead of unpickling
+    multi-MB copies per task.  Output is byte-identical to serial.
+    """
+    from ..graph.shm import GraphStore
+
+    g = load(dataset, seed=seed, size=size)
+    cache = cache_vertices or default_cache_vertices(size)
+    with GraphStore() as store:
+        shared = (
+            store.publish_graph(g)
+            if jobs > 1 and len(names) > 1
+            else g
+        )
+        tasks = [
+            TaskSpec(key=f"sweep.{name}", fn=_sweep_task, kwargs={
+                "name": name, "graph": shared, "cache_vertices": cache,
+                "base_seed": seed,
+            })
+            for name in names
+        ]
+        return [r for group in execute(tasks, jobs=jobs) for r in group]

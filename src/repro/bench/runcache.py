@@ -1,0 +1,299 @@
+"""Content-addressed cache of expensive per-graph computations.
+
+Every multi-run surface repeats work on the *same* graph: the oracle
+harness preprocesses the input once per simulator configuration and runs
+reference Borůvka twice; ``amst verify`` recomputes reference MSTs case
+by case; sweeps re-run identical ``(graph, config)`` points.  This
+module memoizes those computations under **content-addressed** keys —
+nothing is keyed by object identity or generator arguments, only by the
+bytes of the graph and the canonicalized configuration — so a hit is
+*provably* the same computation and the cached value is byte-identical
+to recomputing it.
+
+Key scheme (see docs/PERFORMANCE.md "Run cache"):
+
+* ``graph_fingerprint`` — BLAKE2b over the four CSR arrays' raw bytes
+  plus the vertex count.  Two graphs share a fingerprint iff their CSR
+  representation is identical, which is exactly the precondition for
+  every downstream computation to be identical.
+* ``config_fingerprint`` — canonical JSON of the full ``AmstConfig``
+  dataclass (sorted keys, cycle costs included), hashed.  Any knob that
+  could change a run changes the key; *all* knobs are fields, so there
+  is no invalidation rule to maintain by hand.
+* domain prefixes (``pre:`` / ``ref:`` / ``run:`` / ``cert:``) keep the
+  value types per key unambiguous.
+
+Tiers:
+
+* **memory** — an ``OrderedDict`` LRU holding whole Python objects
+  (shared by reference; everything cached here is treated as immutable
+  by its consumers — CSR arrays are frozen, results are never mutated);
+* **disk** (optional) — pickle files under a directory, for cache reuse
+  across processes/invocations.  Writes are atomic (tempfile + rename)
+  so concurrent writers at worst duplicate work, never corrupt.
+
+The cache is an *optimization only*: every consumer takes ``cache=None``
+and computes from scratch without it, and the property tests assert
+cached and uncached answers are byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from ..core.config import AmstConfig
+from ..graph.csr import CSRGraph
+from ..graph.preprocess import PreprocessResult, preprocess
+
+__all__ = [
+    "RunCache",
+    "CacheStats",
+    "graph_fingerprint",
+    "config_fingerprint",
+    "preprocess_options",
+    "cached_certificate",
+    "cached_preprocess",
+    "cached_reference",
+    "cached_run",
+]
+
+
+def graph_fingerprint(graph: CSRGraph) -> str:
+    """Stable content hash of a CSR graph (hex, 32 chars).
+
+    Hashes the raw bytes of ``indptr``/``dst``/``weight``/``eid`` plus
+    the vertex count — the complete observable state of the graph, so
+    equal fingerprints imply identical downstream computations.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(graph.num_vertices).encode())
+    for a in (graph.indptr, graph.dst, graph.weight, graph.eid):
+        h.update(b"|")
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def config_fingerprint(cfg: AmstConfig) -> str:
+    """Content hash of a canonicalized ``AmstConfig`` (hex, 32 chars)."""
+    canon = json.dumps(asdict(cfg), sort_keys=True, default=str)
+    return hashlib.blake2b(canon.encode(), digest_size=16).hexdigest()
+
+
+def preprocess_options(cfg: AmstConfig) -> tuple[str, bool]:
+    """The preprocessing knobs a configuration implies.
+
+    Mirrors ``Amst.run``'s defaulting exactly: degree-sort reordering
+    only when the HDV cache is on, SEW per ``sort_edges_by_weight``.
+    Configurations that agree on this tuple can share one
+    :func:`~repro.graph.preprocess.preprocess` pass.
+    """
+    return ("sort" if cfg.use_hdc else "identity", cfg.sort_edges_by_weight)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters (memory and disk tiers separately)."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+
+@dataclass
+class RunCache:
+    """Two-tier content-addressed cache.
+
+    Parameters
+    ----------
+    max_memory_entries:
+        LRU capacity of the in-memory tier (0 disables it).
+    disk_dir:
+        Optional directory for the persistent tier; created on first
+        write.  Defaults to ``$AMST_CACHE_DIR`` when that is set and
+        the instance is built via :meth:`from_env`.
+    """
+
+    max_memory_entries: int = 128
+    disk_dir: str | Path | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _memory: OrderedDict = field(default_factory=OrderedDict, repr=False)
+
+    @classmethod
+    def from_env(cls, max_memory_entries: int = 128) -> "RunCache":
+        """Build a cache honouring ``$AMST_CACHE_DIR`` for the disk tier."""
+        return cls(max_memory_entries=max_memory_entries,
+                   disk_dir=os.environ.get("AMST_CACHE_DIR") or None)
+
+    # -- key/value plumbing --------------------------------------------
+    def _disk_path(self, key: str) -> Path:
+        digest = hashlib.blake2b(key.encode(), digest_size=16).hexdigest()
+        return Path(self.disk_dir) / f"{digest}.pkl"
+
+    def get(self, key: str):
+        """Cached value or None (promotes disk hits into memory)."""
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.stats.memory_hits += 1
+            return self._memory[key]
+        if self.disk_dir is not None:
+            path = self._disk_path(key)
+            if path.exists():
+                try:
+                    with open(path, "rb") as f:
+                        value = pickle.load(f)
+                except (OSError, pickle.UnpicklingError, EOFError):
+                    return None  # torn/corrupt file: treat as miss
+                self.stats.disk_hits += 1
+                self._remember(key, value)
+                return value
+        return None
+
+    def put(self, key: str, value) -> None:
+        self._remember(key, value)
+        if self.disk_dir is not None:
+            path = self._disk_path(key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)  # atomic on POSIX
+            except OSError:  # pragma: no cover - disk tier best-effort
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+
+    def _remember(self, key: str, value) -> None:
+        if self.max_memory_entries <= 0:
+            return
+        if key in self._memory:
+            self._memory.move_to_end(key)
+        self._memory[key] = value
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    def get_or_compute(self, key: str, fn: Callable[[], object]):
+        """Return the cached value for ``key`` or compute-and-store it."""
+        value = self.get(key)
+        if value is not None:
+            return value
+        self.stats.misses += 1
+        value = fn()
+        self.put(key, value)
+        return value
+
+
+# ----------------------------------------------------------------------
+# Domain helpers — the three computations the multi-run stack repeats
+# ----------------------------------------------------------------------
+def cached_preprocess(
+    graph: CSRGraph,
+    *,
+    reorder: str,
+    sort_edges_by_weight: bool,
+    cache: RunCache | None = None,
+    graph_fp: str | None = None,
+) -> PreprocessResult:
+    """Memoized :func:`~repro.graph.preprocess.preprocess`.
+
+    The cached value's wall-clock fields (``reorder_seconds`` etc.)
+    reflect the *original* pass — callers that time preprocessing
+    (Table II) must bypass the cache; everything behavioural (the
+    reordered, edge-sorted graph) is deterministic and identical.
+    """
+    if cache is None:
+        return preprocess(graph, reorder=reorder,
+                          sort_edges_by_weight=sort_edges_by_weight)
+    fp = graph_fp or graph_fingerprint(graph)
+    key = f"pre:{fp}:{reorder}:{int(sort_edges_by_weight)}"
+    return cache.get_or_compute(key, lambda: preprocess(
+        graph, reorder=reorder, sort_edges_by_weight=sort_edges_by_weight))
+
+
+def cached_reference(
+    graph: CSRGraph,
+    name: str,
+    algo: Callable[[CSRGraph], object],
+    *,
+    cache: RunCache | None = None,
+    graph_fp: str | None = None,
+):
+    """Memoized reference MST run (Kruskal/Prim/Borůvka/Filter-Kruskal)."""
+    if cache is None:
+        return algo(graph)
+    fp = graph_fp or graph_fingerprint(graph)
+    return cache.get_or_compute(f"ref:{fp}:{name}", lambda: algo(graph))
+
+
+def cached_run(
+    graph: CSRGraph,
+    cfg: AmstConfig,
+    *,
+    cache: RunCache | None = None,
+    graph_fp: str | None = None,
+    preprocessed: PreprocessResult | None = None,
+):
+    """Memoized full simulator run (``Amst(cfg).run(graph)``).
+
+    Host-timing in ``report.extra`` reflects the original run; every
+    modelled quantity (cycles, traffic, events, the forest) is
+    deterministic, which is what the golden-trace byte-identity tests
+    pin down.
+    """
+    from ..core.accelerator import Amst
+
+    if cache is None:
+        return Amst(cfg).run(graph, preprocessed=preprocessed)
+    fp = graph_fp or graph_fingerprint(graph)
+    key = f"run:{fp}:{config_fingerprint(cfg)}"
+    return cache.get_or_compute(
+        key, lambda: Amst(cfg).run(graph, preprocessed=preprocessed))
+
+
+def cached_certificate(
+    graph: CSRGraph,
+    cfg: AmstConfig,
+    edge_ids,
+    *,
+    cache: RunCache | None = None,
+    graph_fp: str | None = None,
+) -> str | None:
+    """Memoized cut-property certificate of a run's forest.
+
+    Returns the certification error string, or ``None`` when the forest
+    certifies as minimum.  The simulator is deterministic, so the forest
+    — and therefore the certificate — is a pure function of
+    ``(graph, cfg)``; the key mirrors ``cached_run`` (``cert:`` prefix)
+    and a hit skips the O(n·m) path-maximum recheck, which dominates a
+    warm oracle pass.  The value is stored wrapped in a 1-tuple because
+    ``None`` is a legitimate (successful) verdict.
+    """
+    from ..mst.certificate import certify_minimum_forest
+
+    def compute() -> str | None:
+        try:
+            certify_minimum_forest(graph, edge_ids)
+        except AssertionError as exc:
+            return str(exc)
+        return None
+
+    if cache is None:
+        return compute()
+    fp = graph_fp or graph_fingerprint(graph)
+    key = f"cert:{fp}:{config_fingerprint(cfg)}"
+    return cache.get_or_compute(key, lambda: (compute(),))[0]

@@ -8,6 +8,7 @@ Subcommands::
     amst bench --experiment all                 # reproduce everything
     amst verify                                 # oracle + golden traces
     amst verify --update-golden                 # re-bless golden traces
+    amst scaleout --cards 4 --jobs 4            # multi-card partitioned MST
     amst datasets                               # print Table I
     amst resources                              # print Fig 16
 
@@ -132,11 +133,22 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             print(f"blessed {path}")
         return 0
 
+    # Content-addressed run cache: golden cases share graphs (the two
+    # road-* and dup-forest-* pairs), so reference forests and
+    # preprocessing passes computed for one case are reused by the next;
+    # --no-cache recomputes everything (the verdicts are byte-identical
+    # either way — that equality is itself property-tested).
+    cache = None
+    if not args.no_cache:
+        from .bench.runcache import RunCache
+
+        cache = RunCache.from_env()
+
     failures = 0
     if not args.skip_oracle:
         for name in names:
             graph = GOLDEN_CASES[name].graph_fn()
-            report = run_oracle(graph)
+            report = run_oracle(graph, cache=cache, jobs=args.jobs)
             status = "ok" if report.ok else "MISMATCH"
             print(f"oracle {name:<18s} {status}")
             if not report.ok:
@@ -157,6 +169,38 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     print(f"verify: {len(names)} case(s) ok "
           f"(oracle {'skipped' if args.skip_oracle else 'passed'}, "
           f"golden traces match)")
+    return 0
+
+
+def _cmd_scaleout(args: argparse.Namespace) -> int:
+    """Partitioned multi-card run with optional parallel phase 1."""
+    from .core import run_scale_out
+
+    g = load(args.dataset, seed=args.seed, size=args.scale)
+    cache = args.cache_vertices or default_cache_vertices(args.scale)
+    cfg = AmstConfig.full(args.parallelism, cache_vertices=cache)
+    r = run_scale_out(g, args.cards, cfg, strategy=args.strategy,
+                      jobs=args.jobs)
+    rep = r.report
+    print(f"dataset      : {args.dataset} "
+          f"(n={g.num_vertices:,}, m={g.num_edges:,})")
+    print(f"cards        : {rep.num_cards} ({args.strategy} partition, "
+          f"jobs={args.jobs})")
+    print(f"forest       : {r.result.num_edges:,} edges, "
+          f"weight {r.result.total_weight:,.0f}, "
+          f"{r.result.num_components} component(s)")
+    print(f"cut edges    : {rep.cut_edges:,}")
+    print(f"modelled time: local {rep.local_seconds * 1e3:.3f} ms + "
+          f"exchange {rep.exchange_seconds * 1e3:.3f} ms + "
+          f"merge {rep.merge_seconds * 1e3:.3f} ms = "
+          f"{rep.total_seconds * 1e3:.3f} ms")
+    print(f"host phase 1 : {rep.host_phase1_seconds:.3f} s wall clock")
+    print(f"energy       : {rep.energy_joules * 1e3:.3f} mJ")
+    if args.validate:
+        from .mst import kruskal, validate_mst
+
+        validate_mst(g, r.result, reference=kruskal(g))
+        print("validation   : forest matches Kruskal (weight-exact)")
     return 0
 
 
@@ -216,6 +260,8 @@ def build_parser() -> argparse.ArgumentParser:
                          "or $AMST_GOLDEN_DIR)")
     pv.add_argument("--jobs", type=int, default=1,
                     help="worker processes (1 = run inline)")
+    pv.add_argument("--no-cache", action="store_true",
+                    help="disable the content-addressed run cache")
     pv.set_defaults(func=_cmd_verify)
 
     pd = sub.add_parser("datasets", help="print the Table I suite")
@@ -235,6 +281,25 @@ def build_parser() -> argparse.ArgumentParser:
     pw.add_argument("--jobs", type=int, default=1,
                     help="worker processes (1 = run inline)")
     pw.set_defaults(func=_cmd_sweep)
+
+    po = sub.add_parser(
+        "scaleout", help="partitioned multi-card MST (DESIGN.md)"
+    )
+    po.add_argument("--dataset", default="CF",
+                    help="Table I tag (EF/GD/CD/CL/RC/RP/RT/UR/CF/UU)")
+    po.add_argument("--cards", type=int, default=4)
+    po.add_argument("--strategy", default="block",
+                    choices=["block", "hash"])
+    po.add_argument("--parallelism", type=int, default=16)
+    po.add_argument("--cache-vertices", type=int, default=None)
+    po.add_argument("--scale", type=float, default=1.0)
+    po.add_argument("--seed", type=int, default=0)
+    po.add_argument("--jobs", type=int, default=1,
+                    help="host processes for the per-card local runs "
+                         "(1 = run serially)")
+    po.add_argument("--validate", action="store_true",
+                    help="check the forest against Kruskal")
+    po.set_defaults(func=_cmd_scaleout)
 
     pt = sub.add_parser("trace", help="per-iteration execution profile")
     pt.add_argument("--dataset", default="RC")

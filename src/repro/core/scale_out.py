@@ -16,10 +16,24 @@ Both phases run through the same simulator, so the result stays
 result-exact (validated against Kruskal in tests) and the report models
 phase-1 parallelism across cards, the PCIe/host exchange of cut edges,
 and the merge run.
+
+Host-side execution mirrors the modelled parallelism: the per-card local
+runs are independent, so ``run_scale_out(..., jobs=N)`` fans them across
+a process pool.  The canonical edge list and the card-sorted edge-id
+array are published once through the shared-memory store
+(:mod:`repro.graph.shm`); each worker receives only a lightweight handle
+plus its ``(start, stop)`` slice bounds — zero per-card array pickling —
+and materializes its card's subgraph from read-only views.  Partitioning
+itself is one vectorized pass: instead of ``num_cards`` boolean sweeps
+over the edge list, the internal edges are card-sorted once and every
+card's edge set is a contiguous slice (see :func:`_partition_edges`).
+Results are byte-identical to serial execution; only
+``host_phase1_seconds`` (wall clock) varies.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -46,31 +60,87 @@ def partition_vertices(
     ``"block"`` keeps id ranges contiguous (preserves the degree-sorted
     HDV prefix per card); ``"hash"`` scatters ids (better edge balance on
     skewed graphs, worse cache locality).
+
+    When ``num_cards > num_vertices`` the partition is computed over the
+    clamped card count ``min(num_cards, num_vertices)`` — each vertex
+    gets its own card and the trailing cards own no vertices (their
+    phase-1 runs see empty subgraphs).  Returned ids always satisfy
+    ``0 <= id < num_cards``.
     """
     if num_cards < 1:
         raise ValueError("num_cards must be >= 1")
     ids = np.arange(num_vertices, dtype=np.int64)
+    # Clamp: more cards than vertices degenerates to one vertex per
+    # card; without the clamp "block" would compute per == 1 anyway but
+    # the intent (trailing cards stay empty, ids stay in range) is now
+    # explicit and documented rather than incidental.
+    effective = min(num_cards, max(num_vertices, 1))
     if strategy == "block":
-        per = -(-num_vertices // num_cards)
+        per = -(-num_vertices // effective)
         return np.minimum(ids // max(per, 1), num_cards - 1)
     if strategy == "hash":
-        return ids % num_cards
+        return ids % effective
     raise ValueError(f"unknown partition strategy {strategy!r}")
 
 
+def _partition_edges(
+    edge_card: np.ndarray, internal: np.ndarray, num_cards: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize every card's internal edge set in one scan.
+
+    Returns ``(sorted_eids, bounds)``: the internal undirected edge ids
+    sorted by owning card (ascending within each card — the stable sort
+    preserves the id order ``np.flatnonzero`` would produce), and the
+    ``int64[num_cards + 1]`` slice bounds such that card ``c`` owns
+    ``sorted_eids[bounds[c]:bounds[c + 1]]``.  Replaces ``num_cards``
+    separate ``internal & (edge_card == card)`` boolean sweeps with a
+    single sort + bincount pass.
+    """
+    internal_eids = np.flatnonzero(internal)
+    cards = edge_card[internal_eids]
+    order = np.argsort(cards, kind="stable")
+    sorted_eids = internal_eids[order]
+    counts = np.bincount(cards, minlength=num_cards)
+    bounds = np.zeros(num_cards + 1, dtype=np.int64)
+    np.cumsum(counts[:num_cards], out=bounds[1:])
+    return sorted_eids, bounds
+
+
 def _edge_subgraph(
-    graph: CSRGraph, keep: np.ndarray
-) -> tuple[CSRGraph, np.ndarray]:
+    num_vertices: int,
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray,
+    keep: np.ndarray,
+) -> CSRGraph:
     """Subgraph over the selected undirected edge ids.
 
-    Vertex ids are preserved (isolated vertices are fine for the
-    simulator); returns ``(subgraph, orig_eid)`` with ``orig_eid[e]``
-    mapping the subgraph's edge id back to the input graph.
+    ``u/v/w`` are the graph's canonical endpoint arrays (computed once
+    by the caller); vertex ids are preserved (isolated vertices are fine
+    for the simulator) and the subgraph's edge id ``e`` maps back to
+    ``keep[e]`` in the input graph.
     """
     keep = np.asarray(keep, dtype=np.int64)
-    u, v, w = graph.edge_endpoints()
-    sub = from_arrays(graph.num_vertices, u[keep], v[keep], w[keep])
-    return sub, keep
+    return from_arrays(num_vertices, u[keep], v[keep], w[keep])
+
+
+def _local_card_task(
+    bundle, start: int, stop: int, num_vertices: int, cfg: AmstConfig
+) -> tuple:
+    """Worker body for one card's phase-1 run.
+
+    ``bundle`` resolves to ``(u, v, w, sorted_eids)`` — shared-memory
+    views on the zero-copy path, plain arrays on the fallback path; the
+    card's edge-id set is the ``[start, stop)`` slice of the card-sorted
+    id array.
+    """
+    from ..graph.shm import resolve_arrays
+
+    u, v, w, sorted_eids = resolve_arrays(bundle)
+    keep = sorted_eids[start:stop]
+    sub = _edge_subgraph(num_vertices, u, v, w, keep)
+    out = Amst(cfg).run(sub)
+    return ((out, keep[out.result.edge_ids]),)
 
 
 @dataclass(frozen=True)
@@ -84,6 +154,8 @@ class ScaleOutReport:
     cut_edges: int
     local_outputs: tuple  # per-card AmstOutput
     merge_output: AmstOutput
+    host_phase1_seconds: float = 0.0  # host wall clock of phase 1 (not
+    #                                   modelled time; varies run-to-run)
 
     @property
     def total_seconds(self) -> float:
@@ -101,16 +173,71 @@ class ScaleOutResult:
     report: ScaleOutReport
 
 
+def _run_local_phase(
+    u: np.ndarray,
+    v: np.ndarray,
+    w: np.ndarray,
+    sorted_eids: np.ndarray,
+    bounds: np.ndarray,
+    num_vertices: int,
+    num_cards: int,
+    cfg: AmstConfig,
+    jobs: int,
+) -> tuple[list[AmstOutput], list[np.ndarray]]:
+    """Phase 1: one simulator run per card, optionally in parallel."""
+    if jobs > 1 and num_cards > 1:
+        from ..bench.executor import TaskSpec, execute
+        from ..graph.shm import GraphStore
+
+        with GraphStore() as store:
+            bundle = store.publish(u, v, w, sorted_eids)
+            tasks = [
+                TaskSpec(
+                    key=f"scaleout.card{card}", fn=_local_card_task,
+                    kwargs={
+                        "bundle": bundle,
+                        "start": int(bounds[card]),
+                        "stop": int(bounds[card + 1]),
+                        "num_vertices": num_vertices,
+                        "cfg": cfg,
+                    },
+                )
+                for card in range(num_cards)
+            ]
+            groups = execute(tasks, jobs=jobs)
+        pairs = [g[0] for g in groups]
+    else:
+        pairs = [
+            _local_card_task(
+                (u, v, w, sorted_eids), int(bounds[card]),
+                int(bounds[card + 1]), num_vertices, cfg,
+            )[0]
+            for card in range(num_cards)
+        ]
+    local_outputs = [out for out, _ in pairs]
+    msf_eids = [eids for _, eids in pairs]
+    return local_outputs, msf_eids
+
+
 def run_scale_out(
     graph: CSRGraph,
     num_cards: int,
     config: AmstConfig | None = None,
     *,
     strategy: str = "block",
+    jobs: int = 1,
 ) -> ScaleOutResult:
-    """Compute the minimum spanning forest across ``num_cards`` cards."""
+    """Compute the minimum spanning forest across ``num_cards`` cards.
+
+    ``jobs > 1`` fans the independent per-card phase-1 runs across a
+    process pool (zero-copy via the shared-memory store); the forest,
+    the modelled report and every event count are byte-identical to the
+    serial run — only ``report.host_phase1_seconds`` (real wall clock)
+    differs.
+    """
     cfg = config if config is not None else AmstConfig.full()
     if num_cards == 1:
+        t0 = time.perf_counter()
         out = Amst(cfg).run(graph)
         report = ScaleOutReport(
             num_cards=1,
@@ -120,24 +247,27 @@ def run_scale_out(
             cut_edges=0,
             local_outputs=(out,),
             merge_output=out,
+            host_phase1_seconds=time.perf_counter() - t0,
         )
         return ScaleOutResult(result=out.result, report=report)
 
     part = partition_vertices(graph.num_vertices, num_cards,
                               strategy=strategy)
-    u, v, _ = graph.edge_endpoints()
+    # The canonical endpoint arrays are computed exactly once and reused
+    # for partitioning, per-card subgraph extraction, the merge run and
+    # the final weight summation.
+    u, v, w = graph.edge_endpoints()
     edge_card = part[u]
-    internal = part[u] == part[v]
+    internal = edge_card == part[v]
+    sorted_eids, bounds = _partition_edges(edge_card, internal, num_cards)
 
     # ---- phase 1: local MSFs, one simulator run per card ----
-    local_outputs: list[AmstOutput] = []
-    msf_eids: list[np.ndarray] = []
-    for card in range(num_cards):
-        keep = np.flatnonzero(internal & (edge_card == card))
-        sub, orig = _edge_subgraph(graph, keep)
-        out = Amst(cfg).run(sub)
-        local_outputs.append(out)
-        msf_eids.append(orig[out.result.edge_ids])
+    t0 = time.perf_counter()
+    local_outputs, msf_eids = _run_local_phase(
+        u, v, w, sorted_eids, bounds, graph.num_vertices, num_cards, cfg,
+        jobs,
+    )
+    host_phase1 = time.perf_counter() - t0
 
     # ---- exchange: every cut edge plus each card's MSF goes to card 0
     cut_eids = np.flatnonzero(~internal)
@@ -150,11 +280,10 @@ def run_scale_out(
     )
 
     # ---- phase 2: merge run over the composable edge set ----
-    merge_graph, merge_orig = _edge_subgraph(graph, merge_eids)
+    merge_graph = _edge_subgraph(graph.num_vertices, u, v, w, merge_eids)
     merge_out = Amst(cfg).run(merge_graph)
-    final_eids = merge_orig[merge_out.result.edge_ids]
+    final_eids = merge_eids[merge_out.result.edge_ids]
 
-    _, _, w = graph.edge_endpoints()
     result = MSTResult(
         edge_ids=final_eids,
         total_weight=float(w[final_eids].sum()),
@@ -170,5 +299,6 @@ def run_scale_out(
         cut_edges=int(cut_eids.size),
         local_outputs=tuple(local_outputs),
         merge_output=merge_out,
+        host_phase1_seconds=host_phase1,
     )
     return ScaleOutResult(result=result, report=report)

@@ -86,6 +86,13 @@ class TimedSubsystem:
         self._methods = frozenset(methods)
 
     def __getattr__(self, attr: str):
+        if attr.startswith("_"):
+            # Never forward private/dunder probes: pickle interrogates
+            # a freshly allocated (empty-dict) instance for __setstate__
+            # before _inner exists, and forwarding would recurse forever.
+            # AmstOutput must pickle — parallel scale-out workers return
+            # it across the process pool.
+            raise AttributeError(attr)
         value = getattr(self._inner, attr)
         if attr in self._methods:
             timers, name = self._timers, self._name

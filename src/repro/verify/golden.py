@@ -115,10 +115,18 @@ def _config_record(cfg: AmstConfig) -> dict:
     }
 
 
-def compute_golden_record(name: str) -> dict:
-    """Run one golden case (with self-check armed) and snapshot it."""
+def compute_golden_record(name: str, graph=None) -> dict:
+    """Run one golden case (with self-check armed) and snapshot it.
+
+    ``graph`` optionally supplies the case's graph — either directly or
+    as a :class:`~repro.graph.shm.SharedGraphHandle` published by the
+    parent of a ``--jobs N`` recomputation; by default it is rebuilt
+    from the case's seeded generator (identical bytes either way).
+    """
+    from ..graph.shm import resolve_graph
+
     case = GOLDEN_CASES[name]
-    graph = case.graph_fn()
+    graph = case.graph_fn() if graph is None else resolve_graph(graph)
     out = Amst(case.config.with_(self_check=True)).run(graph)
     res, rep = out.result, out.report
     return {
@@ -158,22 +166,35 @@ def compute_golden_record(name: str) -> dict:
     }
 
 
-def _golden_task(name: str) -> tuple:
+def _golden_task(name: str, graph=None) -> tuple:
     """Picklable executor task body (single-element tuple for run_task)."""
-    return (compute_golden_record(name),)
+    return (compute_golden_record(name, graph=graph),)
 
 
 def compute_golden_records(
     names: list[str] | None = None, *, jobs: int = 1
 ) -> dict[str, dict]:
-    """Compute records, optionally fanning across a process pool."""
+    """Compute records, optionally fanning across a process pool.
+
+    On the parallel path each case's graph is built once in the parent
+    and published through the shared-memory store, so workers attach
+    the CSR arrays instead of regenerating (or unpickling) them; the
+    records stay byte-identical to serial recomputation.
+    """
+    from ..graph.shm import GraphStore
+
     if names is None:
         names = list(GOLDEN_CASES)
-    tasks = [
-        TaskSpec(key=f"golden.{n}", fn=_golden_task, kwargs={"name": n})
-        for n in names
-    ]
-    results = execute(tasks, jobs=jobs)
+    with GraphStore() as store:
+        tasks = []
+        for n in names:
+            kwargs: dict = {"name": n}
+            if jobs > 1 and len(names) > 1:
+                kwargs["graph"] = store.publish_graph(
+                    GOLDEN_CASES[n].graph_fn())
+            tasks.append(
+                TaskSpec(key=f"golden.{n}", fn=_golden_task, kwargs=kwargs))
+        results = execute(tasks, jobs=jobs)
     return {n: group[0] for n, group in zip(names, results)}
 
 

@@ -236,12 +236,133 @@ def _sim_components_per_iteration(out) -> list[int]:
     return counts
 
 
+def _oracle_ref_task(algo, graph) -> tuple:
+    """Worker body: one reference MST over the shared graph."""
+    from ..graph.shm import resolve_graph
+
+    return (algo(resolve_graph(graph)),)
+
+
+def _oracle_sim_task(cfg: AmstConfig, graph, certify: bool) -> tuple:
+    """Worker body: one simulator run plus its derived check inputs.
+
+    Returns a small ``(result, sim_comps, cert_error)`` payload instead
+    of the whole :class:`AmstOutput`, so only the forest travels back
+    through the pool.
+    """
+    from ..graph.shm import resolve_graph
+
+    g = resolve_graph(graph)
+    out = Amst(cfg).run(g)
+    cert_error = None
+    if certify:
+        try:
+            certify_minimum_forest(g, out.result.edge_ids)
+        except AssertionError as exc:
+            cert_error = str(exc)
+    return ((out.result, _sim_components_per_iteration(out), cert_error),)
+
+
+def _serial_runs(graph, references, configs, certify, cache):
+    """Compute every oracle input in-process (optionally cached).
+
+    Simulator configurations that imply the same preprocessing — same
+    reordering strategy and SEW setting — share one preprocessing pass
+    (the default five configs need three passes, not five); with a
+    :class:`~repro.bench.runcache.RunCache` the passes, the reference
+    forests, whole simulator runs and certification verdicts are
+    memoized across calls under content-addressed keys.
+    """
+    from ..bench.runcache import (
+        cached_certificate,
+        cached_preprocess,
+        cached_reference,
+        cached_run,
+        graph_fingerprint,
+        preprocess_options,
+    )
+
+    fp = graph_fingerprint(graph) if cache is not None else None
+    ref_results = {
+        name: cached_reference(graph, name, algo, cache=cache, graph_fp=fp)
+        for name, algo in references.items()
+    }
+    if "boruvka" in ref_results:
+        ref_boruvka = ref_results["boruvka"]
+    else:
+        ref_boruvka = cached_reference(
+            graph, "boruvka", boruvka, cache=cache, graph_fp=fp)
+
+    pre_memo: dict = {}
+
+    def _pre(opts):
+        if opts not in pre_memo:
+            pre_memo[opts] = cached_preprocess(
+                graph, reorder=opts[0], sort_edges_by_weight=opts[1],
+                cache=cache, graph_fp=fp,
+            )
+        return pre_memo[opts]
+
+    sim_payloads = {}
+    for label, cfg in configs.items():
+        out = cached_run(graph, cfg, cache=cache, graph_fp=fp,
+                         preprocessed=_pre(preprocess_options(cfg)))
+        cert_error = None
+        if certify:
+            cert_error = cached_certificate(
+                graph, cfg, out.result.edge_ids, cache=cache, graph_fp=fp)
+        sim_payloads[label] = (
+            out.result, _sim_components_per_iteration(out), cert_error)
+    return ref_results, ref_boruvka, sim_payloads
+
+
+def _parallel_runs(graph, references, configs, certify, jobs):
+    """Fan every reference and simulator run across the process pool.
+
+    The graph is published once through the shared-memory store; every
+    worker attaches the same physical CSR arrays (or unpickles the
+    graph on the fallback path).  Collection order is deterministic, so
+    the assembled report is byte-identical to the serial one.
+    """
+    from ..bench.executor import TaskSpec, execute
+    from ..graph.shm import GraphStore
+
+    with GraphStore() as store:
+        shared = store.publish_graph(graph)
+        tasks = [
+            TaskSpec(key=f"oracle.ref.{name}", fn=_oracle_ref_task,
+                     kwargs={"algo": algo, "graph": shared})
+            for name, algo in references.items()
+        ]
+        need_boruvka = "boruvka" not in references
+        if need_boruvka:
+            tasks.append(TaskSpec(
+                key="oracle.ref.boruvka", fn=_oracle_ref_task,
+                kwargs={"algo": boruvka, "graph": shared},
+            ))
+        tasks.extend(
+            TaskSpec(key=f"oracle.sim.{label}", fn=_oracle_sim_task,
+                     kwargs={"cfg": cfg, "graph": shared,
+                             "certify": certify})
+            for label, cfg in configs.items()
+        )
+        groups = execute(tasks, jobs=jobs)
+
+    it = iter(groups)
+    ref_results = {name: next(it)[0] for name in references}
+    ref_boruvka = next(it)[0] if need_boruvka else ref_results["boruvka"]
+    sim_payloads = {label: next(it)[0] for label in configs}
+    return ref_results, ref_boruvka, sim_payloads
+
+
 def run_oracle(
     graph: CSRGraph,
     configs: dict[str, AmstConfig] | None = None,
     *,
     references: dict | None = None,
     certify: bool = True,
+    cache=None,
+    jobs: int = 1,
 ) -> OracleReport:
     """Differentially verify simulator configuration(s) on one graph.
 
@@ -259,6 +380,14 @@ def run_oracle(
     certify:
         Additionally prove every simulator forest minimal from first
         principles via the cycle property (O(m·h), fine at test scale).
+    cache:
+        Optional :class:`~repro.bench.runcache.RunCache`: memoizes
+        reference forests, preprocessing passes and whole simulator
+        runs under content-addressed keys (serial path only).
+    jobs:
+        ``> 1`` fans every reference and simulator run across a process
+        pool with the graph published via shared memory; the report is
+        byte-identical to ``jobs=1``.
     """
     if references is None:
         references = REFERENCES
@@ -266,34 +395,38 @@ def run_oracle(
         configs = ORACLE_CONFIGS
     canonical = next(iter(references))
 
+    if jobs > 1 and len(references) + len(configs) > 1:
+        ref_results, ref_boruvka, sim_payloads = _parallel_runs(
+            graph, references, configs, certify, jobs)
+    else:
+        ref_results, ref_boruvka, sim_payloads = _serial_runs(
+            graph, references, configs, certify, cache)
+
     report = OracleReport(
         num_vertices=graph.num_vertices,
         num_edges=graph.num_edges,
         canonical=canonical,
     )
-    for name, algo in references.items():
-        report.entries[name] = _entry(graph, name, "reference", algo(graph))
+    for name, result in ref_results.items():
+        report.entries[name] = _entry(graph, name, "reference", result)
     base = report.entries[canonical]
 
-    ref_boruvka = boruvka(graph)
     ref_iter_comps = [
         it.num_components_before
         for it in ref_boruvka.extras["stats"].iterations
     ]
 
-    sim_outputs = {}
-    for label, cfg in configs.items():
+    for label, (result, _, _) in sim_payloads.items():
         name = f"sim:{label}"
-        out = Amst(cfg).run(graph)
-        sim_outputs[name] = out
-        report.entries[name] = _entry(graph, name, "simulator", out.result)
+        report.entries[name] = _entry(graph, name, "simulator", result)
 
     for name, entry in report.entries.items():
         if name == canonical:
             continue
         _compare(graph, base, entry, report.mismatches)
 
-    for name, out in sim_outputs.items():
+    for label, (_, sim_comps, cert_error) in sim_payloads.items():
+        name = f"sim:{label}"
         entry = report.entries[name]
         if entry.iterations != ref_boruvka.iterations:
             report.mismatches.append(OracleMismatch(
@@ -301,19 +434,14 @@ def run_oracle(
                 f"{entry.iterations} iterations != reference Borůvka's "
                 f"{ref_boruvka.iterations}",
             ))
-        else:
-            sim_comps = _sim_components_per_iteration(out)
-            if sim_comps != ref_iter_comps:
-                report.mismatches.append(OracleMismatch(
-                    name, "per-iteration-components",
-                    f"component counts per iteration {sim_comps} != "
-                    f"reference {ref_iter_comps}",
-                ))
-        if certify:
-            try:
-                certify_minimum_forest(graph, entry.edge_ids)
-            except AssertionError as exc:
-                report.mismatches.append(
-                    OracleMismatch(name, "certificate", str(exc))
-                )
+        elif sim_comps != ref_iter_comps:
+            report.mismatches.append(OracleMismatch(
+                name, "per-iteration-components",
+                f"component counts per iteration {sim_comps} != "
+                f"reference {ref_iter_comps}",
+            ))
+        if cert_error is not None:
+            report.mismatches.append(
+                OracleMismatch(name, "certificate", cert_error)
+            )
     return report

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import AmstConfig, partition_vertices, run_scale_out
-from repro.graph import rmat, road_lattice
+from repro.core.scale_out import _partition_edges
+from repro.graph import from_edges, rmat, road_lattice
 from repro.mst import kruskal, validate_mst
 
 CFG = AmstConfig.full(8, cache_vertices=256)
@@ -28,11 +29,73 @@ class TestPartition:
         part = partition_vertices(100, 7, strategy="block")
         assert ((part >= 0) & (part < 7)).all()
 
+    @pytest.mark.parametrize("strategy", ["block", "hash"])
+    def test_more_cards_than_vertices(self, strategy):
+        part = partition_vertices(3, 8, strategy=strategy)
+        # one vertex per card, trailing cards empty, ids in range
+        assert part.tolist() == [0, 1, 2]
+        assert ((part >= 0) & (part < 8)).all()
+
+    @pytest.mark.parametrize("strategy", ["block", "hash"])
+    @pytest.mark.parametrize("n", [0, 1])
+    def test_degenerate_vertex_counts(self, strategy, n):
+        part = partition_vertices(n, 4, strategy=strategy)
+        assert part.shape == (n,)
+        assert ((part >= 0) & (part < 4)).all()
+
+    def test_hash_balances_skewed_degrees(self):
+        # A star graph: vertex 0 touches every edge.  Block partitioning
+        # makes every edge internal to card 0 (all on one card); hash
+        # spreads the leaves, so the *vertex* balance stays even no
+        # matter how skewed the degree distribution is.
+        n, cards = 64, 4
+        part = partition_vertices(n, cards, strategy="hash")
+        counts = np.bincount(part, minlength=cards)
+        assert counts.max() - counts.min() <= 1
+        # and on the star the leaf vertices (1..n-1) are spread too
+        leaf_counts = np.bincount(part[1:], minlength=cards)
+        assert leaf_counts.max() - leaf_counts.min() <= 1
+
     def test_validation(self):
         with pytest.raises(ValueError):
             partition_vertices(10, 0)
         with pytest.raises(ValueError, match="strategy"):
             partition_vertices(10, 2, strategy="spectral")
+
+
+class TestPartitionEdges:
+    """The single-scan edge partition must equal the per-card sweeps."""
+
+    @pytest.mark.parametrize("strategy", ["block", "hash"])
+    @pytest.mark.parametrize("cards", [1, 2, 3, 8])
+    def test_matches_boolean_sweeps(self, strategy, cards):
+        g = rmat(7, 8, rng=17)
+        part = partition_vertices(g.num_vertices, cards, strategy=strategy)
+        u, v, _ = g.edge_endpoints()
+        edge_card = part[u]
+        internal = edge_card == part[v]
+        sorted_eids, bounds = _partition_edges(edge_card, internal, cards)
+        assert bounds.shape == (cards + 1,)
+        assert bounds[-1] == int(internal.sum())
+        for card in range(cards):
+            expected = np.flatnonzero(internal & (edge_card == card))
+            got = sorted_eids[bounds[card]:bounds[card + 1]]
+            np.testing.assert_array_equal(got, expected)
+
+    def test_empty_edge_set(self):
+        edge_card = np.empty(0, dtype=np.int64)
+        internal = np.empty(0, dtype=bool)
+        sorted_eids, bounds = _partition_edges(edge_card, internal, 4)
+        assert sorted_eids.size == 0
+        assert bounds.tolist() == [0] * 5
+
+    def test_trailing_empty_cards(self):
+        # all internal edges on card 0; cards 1..3 must get empty slices
+        edge_card = np.zeros(5, dtype=np.int64)
+        internal = np.ones(5, dtype=bool)
+        sorted_eids, bounds = _partition_edges(edge_card, internal, 4)
+        assert sorted_eids.tolist() == [0, 1, 2, 3, 4]
+        assert bounds.tolist() == [0, 5, 5, 5, 5]
 
 
 class TestScaleOutCorrectness:
@@ -63,6 +126,30 @@ class TestScaleOutCorrectness:
         assert r.result.extras["num_cards"] == 2
         assert r.report.num_cards == 2
         assert len(r.report.local_outputs) == 2
+
+    @pytest.mark.parametrize("strategy", ["block", "hash"])
+    def test_more_cards_than_vertices(self, strategy):
+        u = np.array([0, 1, 2], dtype=np.int64)
+        v = np.array([1, 2, 3], dtype=np.int64)
+        w = np.array([1.0, 2.0, 3.0])
+        g = from_edges(4, u, v, w)
+        r = run_scale_out(g, 8, CFG, strategy=strategy)
+        validate_mst(g, r.result, reference=kruskal(g))
+        assert len(r.report.local_outputs) == 8
+
+    def test_jobs_parity_with_serial(self):
+        g = rmat(9, 8, rng=21)
+        serial = run_scale_out(g, 4, CFG)
+        pooled = run_scale_out(g, 4, CFG, jobs=2)
+        np.testing.assert_array_equal(serial.result.edge_ids,
+                                      pooled.result.edge_ids)
+        assert serial.result.total_weight == pooled.result.total_weight
+        assert serial.report.local_seconds == pooled.report.local_seconds
+        assert serial.report.cut_edges == pooled.report.cut_edges
+        for a, b in zip(serial.report.local_outputs,
+                        pooled.report.local_outputs):
+            assert a.report.total_cycles == b.report.total_cycles
+        assert pooled.report.host_phase1_seconds > 0.0
 
 
 class TestScaleOutModel:

@@ -64,6 +64,31 @@ class TestTimedSubsystem:
         assert proxy.tag == "inner-attr"
         assert t.calls == {"sub.x": 1}
 
+    def test_private_probes_raise_attribute_error(self):
+        # pickle interrogates a freshly allocated instance for
+        # __setstate__/__reduce_ex__ before _inner exists; forwarding
+        # those probes used to recurse forever during unpickling.
+        proxy = TimedSubsystem(self.Inner(), HostTimers(), "sub.x", ())
+        import pytest
+
+        with pytest.raises(AttributeError):
+            proxy.__setstate_probe__
+        with pytest.raises(AttributeError):
+            proxy._does_not_exist
+
+    def test_amst_output_pickles_round_trip(self):
+        # AmstOutput carries TimedSubsystem-wrapped caches in SimState;
+        # parallel workers ship it back through pickle, so the full
+        # round trip is load-bearing for --jobs execution.
+        import pickle
+
+        g = rmat(6, 6, rng=9)
+        out = Amst(AmstConfig.full(4, cache_vertices=32)).run(g)
+        clone = pickle.loads(pickle.dumps(out))
+        np.testing.assert_array_equal(clone.result.edge_ids,
+                                      out.result.edge_ids)
+        assert clone.report.total_cycles == out.report.total_cycles
+
 
 class TestRunProfile:
     def test_report_carries_host_timing(self):

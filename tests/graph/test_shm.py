@@ -1,0 +1,136 @@
+"""Shared-memory graph store: round-trips, caching, fallback."""
+
+import logging
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.graph import rmat
+from repro.graph import shm as shm_mod
+from repro.graph.shm import (
+    GraphStore,
+    SharedArrayBundle,
+    SharedGraphHandle,
+    attach_graph,
+    resolve_arrays,
+    resolve_graph,
+    shm_available,
+)
+
+
+@pytest.fixture
+def graph():
+    return rmat(8, 6, rng=11)
+
+
+class TestPublishAttach:
+    def test_graph_round_trip_is_equal(self, graph):
+        with GraphStore() as store:
+            handle = store.publish_graph(graph)
+            assert isinstance(handle, SharedGraphHandle)
+            assert resolve_graph(handle) == graph
+
+    def test_attached_views_are_zero_copy_and_read_only(self, graph):
+        with GraphStore() as store:
+            g2 = attach_graph(store.publish_graph(graph))
+            assert not g2.indptr.flags.owndata
+            assert not g2.weight.flags.writeable
+
+    def test_handle_is_small_and_picklable(self, graph):
+        with GraphStore() as store:
+            handle = store.publish_graph(graph)
+            blob = pickle.dumps(handle)
+            # the whole point: the handle costs bytes, not megabytes
+            assert len(blob) < 1024
+            assert len(blob) < len(pickle.dumps(graph)) / 10
+            assert resolve_graph(pickle.loads(blob)) == graph
+
+    def test_attach_cache_returns_same_object(self, graph):
+        with GraphStore() as store:
+            handle = store.publish_graph(graph)
+            assert attach_graph(handle) is attach_graph(handle)
+
+    def test_array_bundle_round_trip(self):
+        a = np.arange(7, dtype=np.int64)
+        b = np.linspace(0, 1, 5)
+        c = np.empty(0, dtype=np.int64)  # empty arrays must survive
+        with GraphStore() as store:
+            bundle = store.publish(a, b, c)
+            assert isinstance(bundle, SharedArrayBundle)
+            ra, rb, rc = resolve_arrays(bundle)
+            np.testing.assert_array_equal(ra, a)
+            np.testing.assert_array_equal(rb, b)
+            assert rc.size == 0 and rc.dtype == np.int64
+
+    def test_resolve_passthrough_without_store(self, graph):
+        assert resolve_graph(graph) is graph
+        arrays = (np.arange(3), np.arange(4))
+        assert resolve_arrays(arrays) == arrays
+
+
+class TestCleanup:
+    def test_close_unlinks_segments(self, graph):
+        store = GraphStore()
+        handle = store.publish_graph(graph)
+        store.close()
+        from multiprocessing import shared_memory
+
+        # unlinked: a fresh attach by name must fail
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=handle.bundle.name)
+
+    def test_close_is_idempotent(self, graph):
+        store = GraphStore()
+        store.publish_graph(graph)
+        store.close()
+        store.close()
+
+
+class TestFallback:
+    def test_publish_falls_back_when_creation_fails(
+        self, graph, monkeypatch, caplog
+    ):
+        class Boom:
+            def __init__(self, *a, **k):
+                raise OSError("no shm here")
+
+        monkeypatch.setattr(shm_mod._shm, "SharedMemory", Boom)
+        monkeypatch.setattr(shm_mod, "_warned_fallback", False)
+        with caplog.at_level(logging.WARNING, logger="repro.graph.shm"):
+            with GraphStore() as store:
+                out = store.publish_graph(graph)
+        assert out is graph  # pickling path, not a handle
+        assert any("falling back" in r.message for r in caplog.records)
+
+    def test_publish_falls_back_when_module_missing(
+        self, graph, monkeypatch, caplog
+    ):
+        monkeypatch.setattr(shm_mod, "_shm", None)
+        monkeypatch.setattr(shm_mod, "_warned_fallback", False)
+        assert not shm_available()
+        with caplog.at_level(logging.WARNING, logger="repro.graph.shm"):
+            with GraphStore() as store:
+                arrays = store.publish(np.arange(4))
+        assert isinstance(arrays, tuple)
+        assert any("falling back" in r.message for r in caplog.records)
+
+    def test_fallback_warns_only_once(self, graph, monkeypatch, caplog):
+        monkeypatch.setattr(shm_mod, "_shm", None)
+        monkeypatch.setattr(shm_mod, "_warned_fallback", False)
+        with caplog.at_level(logging.WARNING, logger="repro.graph.shm"):
+            with GraphStore() as store:
+                store.publish(np.arange(4))
+                store.publish(np.arange(5))
+        warnings = [r for r in caplog.records if "falling back" in r.message]
+        assert len(warnings) == 1
+
+    def test_sweeps_still_run_under_fallback(self, monkeypatch):
+        """End-to-end: --jobs sweeps survive shm loss via pickling."""
+        monkeypatch.setattr(shm_mod, "_shm", None)
+        monkeypatch.setattr(shm_mod, "_warned_fallback", True)
+        from repro.bench.executor import run_sweeps
+
+        out = run_sweeps(["pipeline", "organization"], dataset="EF",
+                         size=0.25, seed=0, cache_vertices=64, jobs=2)
+        assert len(out) == 2
