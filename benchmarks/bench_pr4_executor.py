@@ -71,9 +71,9 @@ def bench_oracle(graph, rounds: int) -> dict:
         "cold_speedup": serial_s / cold_s,
         "warm_speedup": serial_s / warm_s,
         "cache_stats": {
-            "memory_hits": cache.stats.memory_hits,
-            "disk_hits": cache.stats.disk_hits,
-            "misses": cache.stats.misses,
+            "memory_hits": cache.stats()["memory_hits"],
+            "disk_hits": cache.stats()["disk_hits"],
+            "misses": cache.stats()["misses"],
         },
         "byte_identical": True,
     }

@@ -24,6 +24,16 @@ output *byte-identical* to a serial run:
 Wall-clock measurements inside a task (Table II, Fig 3a) are real time
 and naturally vary run-to-run; everything count- or cycle-based is
 reproducible.  See ``docs/PERFORMANCE.md``.
+
+When a telemetry session is active (``repro.obs``; explicit
+``telemetry=`` argument or the ambient one), each task runs inside a
+``task:<key>`` span: inline tasks record straight into the parent's
+recorder, pool tasks activate a *worker-side* telemetry carrying the
+parent's :class:`~repro.obs.context.RunContext`, and their finished
+spans and metrics travel back with the result and merge under the same
+run ID — the merged Chrome trace shows one lane per worker pid.
+Results remain byte-identical: the telemetry payload rides alongside
+the task output and is stripped before returning.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..obs.context import activate, current_telemetry, deactivate
 from .datasets import default_cache_vertices, load
 from .runner import ExperimentResult
 
@@ -89,20 +100,72 @@ def run_task(spec: TaskSpec) -> list[ExperimentResult]:
     return _normalize(_call_filtered(spec.fn, spec.kwargs))
 
 
+@dataclass
+class _TracedPayload:
+    """A task's results plus the worker telemetry riding along."""
+
+    groups: list
+    worker: object  # repro.obs.WorkerTelemetry
+
+
+def _run_task_traced(spec: TaskSpec, context) -> _TracedPayload:
+    """Worker body for one task under an active telemetry session.
+
+    Activates a worker-side :class:`~repro.obs.Telemetry` carrying the
+    parent's :class:`~repro.obs.context.RunContext`, so every
+    instrumented call inside the task (``Amst.run`` spans, nested
+    subsystem spans) lands in the worker recorder and ships back with
+    the result — stamped with the worker's own pid/tid lanes but the
+    parent's run ID.
+    """
+    from ..obs import Telemetry, worker_payload
+
+    tel = Telemetry(context=context)
+    previous = activate(tel)
+    try:
+        with tel.spans.span(f"task:{spec.key}", category="task"):
+            groups = run_task(spec)
+    finally:
+        deactivate(previous)
+    return _TracedPayload(groups=groups, worker=worker_payload(tel))
+
+
 def execute(
-    tasks: list[TaskSpec], *, jobs: int = 1
+    tasks: list[TaskSpec], *, jobs: int = 1, telemetry=None,
 ) -> list[list[ExperimentResult]]:
     """Run every task, returning results in task order.
 
     ``jobs <= 1`` (or a single task) runs inline — no pool, no pickling
     — through the same :func:`run_task` path, so serial and parallel
-    runs produce identical results.
+    runs produce identical results.  With a telemetry session active
+    (``telemetry=`` or ambient), every task is wrapped in a span and
+    pool workers ship their spans/metrics back for merging; the
+    returned results are unchanged either way.
     """
+    tel = telemetry if telemetry is not None else current_telemetry()
     if jobs <= 1 or len(tasks) <= 1:
-        return [run_task(t) for t in tasks]
+        if tel is None:
+            return [run_task(t) for t in tasks]
+        out = []
+        for t in tasks:
+            with tel.spans.span(f"task:{t.key}", category="task"):
+                out.append(run_task(t))
+        return out
     with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        futures = [pool.submit(run_task, t) for t in tasks]  # submission order
-        return [f.result() for f in futures]
+        if tel is None:
+            futures = [
+                pool.submit(run_task, t) for t in tasks
+            ]  # submission order
+            return [f.result() for f in futures]
+        futures = [
+            pool.submit(_run_task_traced, t, tel.context) for t in tasks
+        ]
+        results = []
+        for f in futures:  # submission order — deterministic collection
+            payload = f.result()
+            tel.merge_worker(payload.worker)
+            results.append(payload.groups)
+        return results
 
 
 # ----------------------------------------------------------------------

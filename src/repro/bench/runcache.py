@@ -106,6 +106,8 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     evictions: int = 0
+    disk_writes: int = 0
+    disk_errors: int = 0
 
     @property
     def hits(self) -> int:
@@ -128,7 +130,7 @@ class RunCache:
 
     max_memory_entries: int = 128
     disk_dir: str | Path | None = None
-    stats: CacheStats = field(default_factory=CacheStats)
+    _stats: CacheStats = field(default_factory=CacheStats, repr=False)
     _memory: OrderedDict = field(default_factory=OrderedDict, repr=False)
 
     @classmethod
@@ -146,7 +148,7 @@ class RunCache:
         """Cached value or None (promotes disk hits into memory)."""
         if key in self._memory:
             self._memory.move_to_end(key)
-            self.stats.memory_hits += 1
+            self._stats.memory_hits += 1
             return self._memory[key]
         if self.disk_dir is not None:
             path = self._disk_path(key)
@@ -156,7 +158,7 @@ class RunCache:
                         value = pickle.load(f)
                 except (OSError, pickle.UnpicklingError, EOFError):
                     return None  # torn/corrupt file: treat as miss
-                self.stats.disk_hits += 1
+                self._stats.disk_hits += 1
                 self._remember(key, value)
                 return value
         return None
@@ -171,7 +173,9 @@ class RunCache:
                 with os.fdopen(fd, "wb") as f:
                     pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(tmp, path)  # atomic on POSIX
+                self._stats.disk_writes += 1
             except OSError:  # pragma: no cover - disk tier best-effort
+                self._stats.disk_errors += 1
                 try:
                     os.unlink(tmp)
                 except OSError:
@@ -185,14 +189,34 @@ class RunCache:
         self._memory[key] = value
         while len(self._memory) > self.max_memory_entries:
             self._memory.popitem(last=False)
-            self.stats.evictions += 1
+            self._stats.evictions += 1
+
+    def stats(self) -> dict:
+        """Public snapshot of the cache counters (both tiers).
+
+        A plain dict so observers (``amst verify`` output, the
+        ``runcache.*`` telemetry namespace in ``repro.obs``) can consume
+        it without reaching into the mutable internal counters.
+        """
+        s = self._stats
+        return {
+            "memory_hits": s.memory_hits,
+            "disk_hits": s.disk_hits,
+            "hits": s.hits,
+            "misses": s.misses,
+            "evictions": s.evictions,
+            "disk_writes": s.disk_writes,
+            "disk_errors": s.disk_errors,
+            "memory_entries": len(self._memory),
+            "disk_enabled": self.disk_dir is not None,
+        }
 
     def get_or_compute(self, key: str, fn: Callable[[], object]):
         """Return the cached value for ``key`` or compute-and-store it."""
         value = self.get(key)
         if value is not None:
             return value
-        self.stats.misses += 1
+        self._stats.misses += 1
         value = fn()
         self.put(key, value)
         return value

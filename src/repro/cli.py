@@ -4,21 +4,28 @@ Subcommands::
 
     amst run --dataset RC --parallelism 16      # one accelerator run
     amst run --dataset RC --self-check          # + per-iteration invariants
+    amst run --telemetry --jobs 2               # + recorded run manifest
     amst bench --experiment fig13 --scale 0.5   # reproduce one exhibit
     amst bench --experiment all                 # reproduce everything
     amst verify                                 # oracle + golden traces
     amst verify --update-golden                 # re-bless golden traces
     amst scaleout --cards 4 --jobs 4            # multi-card partitioned MST
+    amst runs list                              # recorded telemetry runs
+    amst runs diff A B                          # flag metric regressions
     amst datasets                               # print Table I
     amst resources                              # print Fig 16
 
-All experiments are deterministic under ``--seed``.
+All experiments are deterministic under ``--seed``.  ``--telemetry``
+(on ``run``/``sweep``/``verify``/``scaleout``) records a run-scoped
+span tree and metric registry and writes ``runs/<run-id>/`` — see
+docs/OBSERVABILITY.md; results are byte-identical with it on or off.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 from . import bench
 from .bench.datasets import default_cache_vertices, load
@@ -35,13 +42,91 @@ from .core import (
 )
 
 
+@contextmanager
+def _telemetry_session(args: argparse.Namespace, command: str):
+    """Scope one CLI command as a telemetry session (or a no-op).
+
+    With ``--telemetry``: mints a :class:`~repro.obs.context.RunContext`,
+    activates the ambient telemetry so every instrumented layer records
+    into it, opens the root ``cmd:<command>`` span, and on exit folds in
+    the shared-memory counters and persists ``<runs-dir>/<run-id>/``.
+    Without the flag the command body runs exactly as before.
+    """
+    if not getattr(args, "telemetry", False):
+        yield None
+        return
+    from .obs import RunStore, Telemetry
+    from .obs.context import activate, deactivate, new_run_context
+
+    tel = Telemetry(context=new_run_context(
+        run_id=getattr(args, "run_id", None),
+        command=command,
+    ))
+    previous = activate(tel)
+    try:
+        with tel.spans.span(f"cmd:{command}", category="run"):
+            yield tel
+    finally:
+        deactivate(previous)
+        tel.record_shm()
+        run_dir = RunStore(getattr(args, "runs_dir", "runs")).write(tel)
+        print(f"telemetry    : run {tel.context.run_id} -> "
+              f"{run_dir / 'manifest.json'}")
+
+
+def _sim_run_task(cfg: AmstConfig, graph) -> tuple:
+    """Worker body: the full simulator run (``amst run --jobs N``)."""
+    from .graph.shm import resolve_graph
+
+    return (Amst(cfg).run(resolve_graph(graph)),)
+
+
+def _kruskal_task(graph) -> tuple:
+    """Worker body: the Kruskal reference forest."""
+    from .graph.shm import resolve_graph
+    from .mst import kruskal
+
+    return (kruskal(resolve_graph(graph)),)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    with _telemetry_session(args, "run") as tel:
+        return _cmd_run_body(args, tel)
+
+
+def _cmd_run_body(args: argparse.Namespace, tel) -> int:
     g = load(args.dataset, seed=args.seed, size=args.scale)
     cache = args.cache_vertices or default_cache_vertices(args.scale)
     cfg = AmstConfig.full(args.parallelism, cache_vertices=cache)
     if args.self_check:
         cfg = cfg.with_(self_check=True)
-    out = Amst(cfg).run(g)
+    if tel is not None:
+        from .bench.runcache import config_fingerprint, graph_fingerprint
+
+        tel.context = tel.context.with_(
+            graph_fingerprint=graph_fingerprint(g),
+            config_fingerprint=config_fingerprint(cfg),
+        )
+    reference = None
+    if args.jobs > 1:
+        # The simulator run and the Kruskal reference are independent;
+        # fan them over the pool (zero-copy graph hand-off).  The
+        # simulated output is byte-identical to the inline path — only
+        # the transport differs.
+        from .bench.executor import TaskSpec, execute
+        from .graph.shm import GraphStore
+
+        with GraphStore() as store:
+            shared = store.publish_graph(g)
+            groups = execute([
+                TaskSpec(key="run.sim", fn=_sim_run_task,
+                         kwargs={"cfg": cfg, "graph": shared}),
+                TaskSpec(key="run.kruskal", fn=_kruskal_task,
+                         kwargs={"graph": shared}),
+            ], jobs=args.jobs)
+        out, reference = groups[0][0], groups[1][0]
+    else:
+        out = Amst(cfg).run(g)
     r = out.report
     print(f"dataset      : {args.dataset} "
           f"(n={g.num_vertices:,}, m={g.num_edges:,})")
@@ -59,7 +144,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.validate:
         from .mst import kruskal, validate_mst
 
-        validate_mst(g, out.result, reference=kruskal(g))
+        validate_mst(g, out.result,
+                     reference=reference or kruskal(g))
         print("validation   : forest matches Kruskal (weight-exact)")
     if args.self_check:
         print("self-check   : invariants held every iteration "
@@ -67,6 +153,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.profile_host:
         print()
         print(format_host_profile(r.extra["host_timing"]), end="")
+    if tel is not None:
+        tel.record_output(out)
+        tel.summary = {
+            "dataset": args.dataset,
+            "forest_edges": int(out.result.num_edges),
+            "total_weight": float(out.result.total_weight),
+            "num_components": int(out.result.num_components),
+            "iterations": int(r.num_iterations),
+            "total_cycles": float(r.total_cycles),
+        }
     return 0
 
 
@@ -83,11 +179,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     names = list(SWEEPS) if args.sweep == "all" else [args.sweep]
-    for result in run_sweeps(
-        names, dataset=args.dataset, size=args.scale, seed=args.seed,
-        cache_vertices=args.cache_vertices, jobs=args.jobs,
-    ):
-        print(result.to_text())
+    with _telemetry_session(args, "sweep") as tel:
+        for result in run_sweeps(
+            names, dataset=args.dataset, size=args.scale, seed=args.seed,
+            cache_vertices=args.cache_vertices, jobs=args.jobs,
+        ):
+            print(result.to_text())
+        if tel is not None:
+            tel.metrics.inc("sweep.tasks", len(names))
+            tel.summary = {"sweeps": names, "dataset": args.dataset}
     return 0
 
 
@@ -107,6 +207,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
+    with _telemetry_session(args, "verify") as tel:
+        return _cmd_verify_body(args, tel)
+
+
+def _cmd_verify_body(args: argparse.Namespace, tel) -> int:
     """Differential verification: oracle harness + golden traces.
 
     Exit status is non-zero on any oracle mismatch or golden drift, so
@@ -163,6 +268,18 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     for d in diffs:
         failures += 1
         print(d)
+    if cache is not None:
+        s = cache.stats()
+        print(f"run cache    : {s['hits']} hit(s) "
+              f"({s['memory_hits']} memory, {s['disk_hits']} disk), "
+              f"{s['misses']} miss(es), {s['evictions']} eviction(s), "
+              f"{s['disk_writes']} disk write(s)")
+        if tel is not None:
+            tel.record_runcache(cache)
+    if tel is not None:
+        tel.metrics.inc("verify.cases", len(names))
+        tel.metrics.inc("verify.failures", failures)
+        tel.summary = {"cases": names, "failures": failures}
     if failures:
         print(f"verify: {failures} failure(s)")
         return 1
@@ -173,15 +290,36 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_scaleout(args: argparse.Namespace) -> int:
+    with _telemetry_session(args, "scaleout") as tel:
+        return _cmd_scaleout_body(args, tel)
+
+
+def _cmd_scaleout_body(args: argparse.Namespace, tel) -> int:
     """Partitioned multi-card run with optional parallel phase 1."""
     from .core import run_scale_out
 
     g = load(args.dataset, seed=args.seed, size=args.scale)
     cache = args.cache_vertices or default_cache_vertices(args.scale)
     cfg = AmstConfig.full(args.parallelism, cache_vertices=cache)
+    if tel is not None:
+        from .bench.runcache import config_fingerprint, graph_fingerprint
+
+        tel.context = tel.context.with_(
+            graph_fingerprint=graph_fingerprint(g),
+            config_fingerprint=config_fingerprint(cfg),
+        )
     r = run_scale_out(g, args.cards, cfg, strategy=args.strategy,
                       jobs=args.jobs)
     rep = r.report
+    if tel is not None:
+        tel.record_output(rep.merge_output)
+        tel.summary = {
+            "dataset": args.dataset,
+            "cards": rep.num_cards,
+            "cut_edges": rep.cut_edges,
+            "forest_edges": int(r.result.num_edges),
+            "total_weight": float(r.result.total_weight),
+        }
     print(f"dataset      : {args.dataset} "
           f"(n={g.num_vertices:,}, m={g.num_edges:,})")
     print(f"cards        : {rep.num_cards} ({args.strategy} partition, "
@@ -204,6 +342,58 @@ def _cmd_scaleout(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    from .obs import RunStore
+
+    runs = RunStore(args.runs_dir).list_runs()
+    if not runs:
+        print(f"no runs recorded under {args.runs_dir}")
+        return 0
+    print(f"{'run id':<26s} {'started (UTC)':<21s} {'command':<9s} "
+          f"{'metrics':>7s} {'spans':>6s} {'procs':>5s}")
+    for data in runs:
+        ctx = data.get("run", {})
+        print(f"{ctx.get('run_id', '?'):<26s} "
+              f"{ctx.get('started_at', '?'):<21s} "
+              f"{ctx.get('command', '?'):<9s} "
+              f"{len(data.get('metrics', {})):>7d} "
+              f"{data.get('num_spans', 0):>6d} "
+              f"{data.get('num_processes', 1):>5d}")
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import RunStore
+
+    data = RunStore(args.runs_dir).load_manifest(args.ref)
+    print(json.dumps(data, indent=2))
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    """Flag metric regressions between two recorded runs.
+
+    Exit 1 when any shared metric moved by at least ``--threshold``
+    (relative), which is what the CI regression gate rides on.
+    """
+    from .obs import RunStore, compare_json_files
+
+    store = RunStore(args.runs_dir)
+    base = store.resolve(args.base)
+    new = store.resolve(args.new)
+    skip = () if args.all_metrics else None
+    kwargs = {"threshold": args.threshold}
+    if skip is not None:
+        kwargs["skip_prefixes"] = skip
+    report = compare_json_files(base, new, **kwargs)
+    print(f"base: {base}")
+    print(f"new : {new}")
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     print(bench.table1_datasets(size=args.scale, seed=args.seed).to_text())
     return 0
@@ -212,6 +402,16 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 def _cmd_resources(_args: argparse.Namespace) -> int:
     print(bench.fig16_resource_utilization().to_text())
     return 0
+
+
+def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--telemetry", action="store_true",
+                   help="record run-scoped metrics + trace; write "
+                        "<runs-dir>/<run-id>/ (docs/OBSERVABILITY.md)")
+    p.add_argument("--runs-dir", default="runs",
+                   help="run-manifest store root (default runs/)")
+    p.add_argument("--run-id", default=None,
+                   help="explicit run id (default: UTC stamp + random)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -228,12 +428,16 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--cache-vertices", type=int, default=None)
     pr.add_argument("--scale", type=float, default=1.0)
     pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--jobs", type=int, default=1,
+                    help="worker processes: > 1 runs the simulator and "
+                         "the Kruskal reference as pool tasks")
     pr.add_argument("--validate", action="store_true",
                     help="check the forest against Kruskal")
     pr.add_argument("--self-check", action="store_true",
                     help="validate simulator invariants every iteration")
     pr.add_argument("--profile-host", action="store_true",
                     help="print host wall-clock per stage/subsystem")
+    _add_telemetry_flags(pr)
     pr.set_defaults(func=_cmd_run)
 
     pb = sub.add_parser("bench", help="reproduce a table/figure")
@@ -262,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="worker processes (1 = run inline)")
     pv.add_argument("--no-cache", action="store_true",
                     help="disable the content-addressed run cache")
+    _add_telemetry_flags(pv)
     pv.set_defaults(func=_cmd_verify)
 
     pd = sub.add_parser("datasets", help="print the Table I suite")
@@ -280,6 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
     pw.add_argument("--seed", type=int, default=0)
     pw.add_argument("--jobs", type=int, default=1,
                     help="worker processes (1 = run inline)")
+    _add_telemetry_flags(pw)
     pw.set_defaults(func=_cmd_sweep)
 
     po = sub.add_parser(
@@ -299,7 +505,32 @@ def build_parser() -> argparse.ArgumentParser:
                          "(1 = run serially)")
     po.add_argument("--validate", action="store_true",
                     help="check the forest against Kruskal")
+    _add_telemetry_flags(po)
     po.set_defaults(func=_cmd_scaleout)
+
+    pu = sub.add_parser("runs", help="inspect recorded telemetry runs")
+    usub = pu.add_subparsers(dest="runs_command", required=True)
+    ul = usub.add_parser("list", help="list recorded runs")
+    ul.add_argument("--runs-dir", default="runs")
+    ul.set_defaults(func=_cmd_runs_list)
+    ush = usub.add_parser("show", help="print one run's manifest")
+    ush.add_argument("ref", help="run id, 'latest', or a manifest path")
+    ush.add_argument("--runs-dir", default="runs")
+    ush.set_defaults(func=_cmd_runs_show)
+    ud = usub.add_parser(
+        "diff", help="flag metric regressions between two runs"
+    )
+    ud.add_argument("base", help="run id, 'latest', or a manifest path")
+    ud.add_argument("new", nargs="?", default="latest",
+                    help="run id, 'latest' (default), or a manifest path")
+    ud.add_argument("--runs-dir", default="runs")
+    ud.add_argument("--threshold", type=float, default=0.10,
+                    help="relative change that counts as a regression "
+                         "(default 0.10)")
+    ud.add_argument("--all-metrics", action="store_true",
+                    help="also compare the nondeterministic host./"
+                         "runcache./shm. namespaces")
+    ud.set_defaults(func=_cmd_runs_diff)
 
     pt = sub.add_parser("trace", help="per-iteration execution profile")
     pt.add_argument("--dataset", default="RC")

@@ -21,6 +21,7 @@ Typical use::
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,6 +29,7 @@ import numpy as np
 from ..graph.csr import CSRGraph
 from ..graph.preprocess import PreprocessResult, preprocess
 from ..mst.result import MSTResult
+from ..obs.context import current_telemetry
 from .config import AmstConfig
 from .compressing import run_compressing
 from .events import EventLog
@@ -72,6 +74,7 @@ class Amst:
         *,
         preprocessed: PreprocessResult | None = None,
         max_iterations: int | None = None,
+        telemetry=None,
     ) -> AmstOutput:
         """Compute the minimum spanning forest of ``graph``.
 
@@ -79,14 +82,46 @@ class Amst:
         several configurations (the ablation benchmarks do this); it must
         have been produced from the same graph with reordering and edge
         sorting consistent with the configuration.
+
+        ``telemetry`` (a :class:`~repro.obs.telemetry.Telemetry`, or the
+        ambient one installed with :func:`repro.obs.activate` when None)
+        records a run → iteration → stage → subsystem span tree and is
+        strictly read-only: the result is byte-identical with telemetry
+        on or off.
         """
+        tel = telemetry if telemetry is not None else current_telemetry()
+        run_scope = (
+            tel.spans.span(
+                "amst.run", category="run",
+                n=graph.num_vertices, m=graph.num_edges,
+                parallelism=self.config.parallelism,
+            )
+            if tel is not None
+            else nullcontext()
+        )
+        with run_scope:
+            return self._run(graph, preprocessed, max_iterations, tel)
+
+    def _run(
+        self,
+        graph: CSRGraph,
+        preprocessed: PreprocessResult | None,
+        max_iterations: int | None,
+        tel,
+    ) -> AmstOutput:
         cfg = self.config
         if preprocessed is None:
-            preprocessed = preprocess(
-                graph,
-                reorder="sort" if cfg.use_hdc else "identity",
-                sort_edges_by_weight=cfg.sort_edges_by_weight,
+            pre_scope = (
+                tel.spans.span("preprocess", category="stage")
+                if tel is not None
+                else nullcontext()
             )
+            with pre_scope:
+                preprocessed = preprocess(
+                    graph,
+                    reorder="sort" if cfg.use_hdc else "identity",
+                    sort_edges_by_weight=cfg.sort_edges_by_weight,
+                )
         g = preprocessed.graph
         state = SimState.initial(g, cfg)
         timers = state.timers
@@ -106,32 +141,54 @@ class Amst:
             else 2 * max(g.num_vertices, 1)
         )
 
+        # Stage scopes: a plain timer section without telemetry, a stage
+        # span wrapping the same section (plus synthetic per-subsystem
+        # child spans) with it.  Either way the simulated work is
+        # untouched — telemetry only observes.
+        def stage(name):
+            if tel is not None:
+                return tel.stage(timers, name)
+            return timers.section(name)
+
         completed = 0
         while state.iteration < limit:
             ev = log.new_iteration()
-            with timers.section("stage.fm"):
-                found = run_finding(state, ev)
-            ev.parent_cache_utilization = state.parent_cache.utilization()
-            ev.minedge_cache_utilization = state.minedge_cache.utilization()
-            if found.num_candidates == 0:
-                # Termination probe: the hardware discovers completion by
-                # running FM and finding no external edge; the pass stays
-                # in the log (its cycles and traffic are real) but does
-                # not count as a Borůvka iteration.
-                break
-            with timers.section("stage.rm_am"):
-                rape = run_rape(state, ev)
-            mst_chunks.append(rape.appended_eids)
-            total_weight += rape.appended_weight
-            state.iteration += 1
-            completed += 1
-            with timers.section("stage.cm"):
-                run_compressing(state, ev, rape.hooked_roots)
-            state.reset_minedge()
-            ev.parent_cache_utilization = state.parent_cache.utilization()
-            ev.minedge_cache_utilization = state.minedge_cache.utilization()
-            if cfg.self_check:
-                state.check_invariants(log)
+            iter_scope = (
+                tel.spans.span(
+                    f"iteration {ev.iteration}", category="iteration",
+                )
+                if tel is not None
+                else nullcontext()
+            )
+            with iter_scope:
+                with stage("stage.fm"):
+                    found = run_finding(state, ev)
+                ev.parent_cache_utilization = (
+                    state.parent_cache.utilization())
+                ev.minedge_cache_utilization = (
+                    state.minedge_cache.utilization())
+                if found.num_candidates == 0:
+                    # Termination probe: the hardware discovers
+                    # completion by running FM and finding no external
+                    # edge; the pass stays in the log (its cycles and
+                    # traffic are real) but does not count as a Borůvka
+                    # iteration.
+                    break
+                with stage("stage.rm_am"):
+                    rape = run_rape(state, ev)
+                mst_chunks.append(rape.appended_eids)
+                total_weight += rape.appended_weight
+                state.iteration += 1
+                completed += 1
+                with stage("stage.cm"):
+                    run_compressing(state, ev, rape.hooked_roots)
+                state.reset_minedge()
+                ev.parent_cache_utilization = (
+                    state.parent_cache.utilization())
+                ev.minedge_cache_utilization = (
+                    state.minedge_cache.utilization())
+                if cfg.self_check:
+                    state.check_invariants(log)
 
         edge_ids = (
             np.concatenate(mst_chunks)

@@ -67,6 +67,16 @@ class EventLog:
             out.update(ev.counts)
         return out
 
+    def to_metrics(self, prefix: str = "events") -> dict[str, int]:
+        """Namespaced, name-sorted counter snapshot of the whole run.
+
+        The adapter the telemetry registry (``repro.obs``) consumes:
+        ``fm.tasks`` becomes ``events.fm.tasks`` and so on, preserving
+        the ledger's ``module.event`` namespacing as a subtree.
+        """
+        totals = self.grand_totals()
+        return {f"{prefix}.{k}": int(totals[k]) for k in sorted(totals)}
+
     @property
     def num_iterations(self) -> int:
         return len(self.iterations)

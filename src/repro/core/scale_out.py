@@ -34,6 +34,7 @@ Results are byte-identical to serial execution; only
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -41,6 +42,7 @@ import numpy as np
 from ..graph.builders import from_arrays
 from ..graph.csr import CSRGraph
 from ..mst.result import MSTResult
+from ..obs.context import current_telemetry
 from .accelerator import Amst, AmstOutput
 from .config import AmstConfig
 
@@ -236,6 +238,16 @@ def run_scale_out(
     differs.
     """
     cfg = config if config is not None else AmstConfig.full()
+    tel = current_telemetry()
+
+    # Phase scopes: spans under the active telemetry session (category
+    # "phase"), no-ops without one.  Observation only — the partitioned
+    # computation is identical either way.
+    def phase(name):
+        if tel is not None:
+            return tel.spans.span(name, category="phase")
+        return nullcontext()
+
     if num_cards == 1:
         t0 = time.perf_counter()
         out = Amst(cfg).run(graph)
@@ -249,24 +261,30 @@ def run_scale_out(
             merge_output=out,
             host_phase1_seconds=time.perf_counter() - t0,
         )
+        if tel is not None:
+            tel.metrics.set_gauge("scaleout.cards", 1)
+            tel.metrics.set_gauge("scaleout.cut_edges", 0)
         return ScaleOutResult(result=out.result, report=report)
 
-    part = partition_vertices(graph.num_vertices, num_cards,
-                              strategy=strategy)
-    # The canonical endpoint arrays are computed exactly once and reused
-    # for partitioning, per-card subgraph extraction, the merge run and
-    # the final weight summation.
-    u, v, w = graph.edge_endpoints()
-    edge_card = part[u]
-    internal = edge_card == part[v]
-    sorted_eids, bounds = _partition_edges(edge_card, internal, num_cards)
+    with phase("scaleout.partition"):
+        part = partition_vertices(graph.num_vertices, num_cards,
+                                  strategy=strategy)
+        # The canonical endpoint arrays are computed exactly once and
+        # reused for partitioning, per-card subgraph extraction, the
+        # merge run and the final weight summation.
+        u, v, w = graph.edge_endpoints()
+        edge_card = part[u]
+        internal = edge_card == part[v]
+        sorted_eids, bounds = _partition_edges(
+            edge_card, internal, num_cards)
 
     # ---- phase 1: local MSFs, one simulator run per card ----
     t0 = time.perf_counter()
-    local_outputs, msf_eids = _run_local_phase(
-        u, v, w, sorted_eids, bounds, graph.num_vertices, num_cards, cfg,
-        jobs,
-    )
+    with phase("scaleout.local"):
+        local_outputs, msf_eids = _run_local_phase(
+            u, v, w, sorted_eids, bounds, graph.num_vertices, num_cards,
+            cfg, jobs,
+        )
     host_phase1 = time.perf_counter() - t0
 
     # ---- exchange: every cut edge plus each card's MSF goes to card 0
@@ -280,9 +298,17 @@ def run_scale_out(
     )
 
     # ---- phase 2: merge run over the composable edge set ----
-    merge_graph = _edge_subgraph(graph.num_vertices, u, v, w, merge_eids)
-    merge_out = Amst(cfg).run(merge_graph)
+    with phase("scaleout.merge"):
+        merge_graph = _edge_subgraph(
+            graph.num_vertices, u, v, w, merge_eids)
+        merge_out = Amst(cfg).run(merge_graph)
     final_eids = merge_eids[merge_out.result.edge_ids]
+
+    if tel is not None:
+        tel.metrics.set_gauge("scaleout.cards", num_cards)
+        tel.metrics.set_gauge("scaleout.cut_edges", int(cut_eids.size))
+        tel.metrics.set_gauge("scaleout.merge_edges",
+                              int(merge_eids.size))
 
     result = MSTResult(
         edge_ids=final_eids,

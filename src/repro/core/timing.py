@@ -108,7 +108,7 @@ class TimedSubsystem:
         return value
 
 
-def format_host_profile(timers) -> str:
+def format_host_profile(timers, *, counts_only: bool = False) -> str:
     """Fixed-width table of host time per stage and subsystem.
 
     Accepts either a :class:`HostTimers` or its :meth:`~HostTimers.snapshot`
@@ -116,6 +116,14 @@ def format_host_profile(timers) -> str:
     rows sum to (roughly) the simulated part of the run; subsystem rows
     are attributions *within* the stages, so the two groups each show
     their own share column and do not double-count.
+
+    The rendering is deterministic: rows are sorted by timer name (an
+    explicit stable sort, independent of insertion order) and every
+    float is printed in a fixed-precision, fixed-width column.  With
+    ``counts_only=True`` the wall-clock columns are dropped entirely and
+    only the (deterministic) call counts remain, so two runs of the same
+    workload produce byte-identical output — the form the CLI and the
+    determinism test diff.
     """
     if isinstance(timers, dict):
         snap = timers
@@ -123,20 +131,29 @@ def format_host_profile(timers) -> str:
             seconds={k: v["seconds"] for k, v in snap.items()},
             calls={k: int(v.get("calls", 0)) for k, v in snap.items()},
         )
-    lines = ["host profile (wall-clock, simulator itself)",
-             "--------------------------------------------"]
+    if counts_only:
+        lines = ["host profile (call counts only)",
+                 "-------------------------------"]
+    else:
+        lines = ["host profile (wall-clock, simulator itself)",
+                 "--------------------------------------------"]
     for prefix, title in (("stage.", "per stage"), ("sub.", "per subsystem")):
-        rows = [(k, v) for k, v in sorted(timers.seconds.items())
-                if k.startswith(prefix)]
+        rows = sorted(
+            (k, v) for k, v in timers.seconds.items() if k.startswith(prefix)
+        )
         if not rows:
             continue
         group_total = sum(v for _, v in rows)
         lines.append(f"{title}:")
         for name, secs in rows:
+            calls = int(timers.calls.get(name, 0))
+            if counts_only:
+                lines.append(f"  {name:<22s} {calls:>9d} calls")
+                continue
             share = 100.0 * secs / group_total if group_total else 0.0
             lines.append(
-                f"  {name:<22s} {secs * 1e3:10.2f} ms "
-                f"{share:5.1f} %  ({timers.calls.get(name, 0)} calls)"
+                f"  {name:<22s} {secs * 1e3:12.3f} ms "
+                f"{share:5.1f} %  {calls:>9d} calls"
             )
     if len(lines) == 2:
         lines.append("  (no samples recorded)")

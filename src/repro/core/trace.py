@@ -11,7 +11,9 @@ from __future__ import annotations
 import csv
 import json
 import os
+import tempfile
 from dataclasses import asdict, dataclass
+from pathlib import Path
 
 from .accelerator import AmstOutput
 from .perf import iteration_cycles
@@ -73,25 +75,59 @@ def trace_run(out: AmstOutput) -> list[IterationTrace]:
     return rows
 
 
+def _write_text_atomic(path: str | os.PathLike, text: str,
+                       *, newline: str | None = None) -> None:
+    """Create parent dirs and write via tempfile + rename (atomic).
+
+    A reader (or a concurrent writer racing on the same path) never
+    sees a torn file — the same convention as the run-cache disk tier
+    and the run-manifest store.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="ascii", newline=newline) as fh:
+            fh.write(text)
+        os.replace(tmp, path)  # atomic on POSIX
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def save_trace_csv(
     out: AmstOutput, path: str | os.PathLike
 ) -> list[IterationTrace]:
-    """Write the per-iteration trace rows to a CSV file."""
+    """Write the per-iteration trace rows to a CSV file.
+
+    Parent directories are created as needed; the write is atomic
+    (tempfile + rename).
+    """
+    import io
+
     rows = trace_run(out)
-    with open(path, "w", newline="", encoding="ascii") as fh:
-        writer = csv.DictWriter(
-            fh, fieldnames=list(IterationTrace.__dataclass_fields__)
-        )
-        writer.writeheader()
-        for row in rows:
-            writer.writerow(asdict(row))
+    buf = io.StringIO(newline="")
+    writer = csv.DictWriter(
+        buf, fieldnames=list(IterationTrace.__dataclass_fields__)
+    )
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(asdict(row))
+    _write_text_atomic(path, buf.getvalue(), newline="")
     return rows
 
 
 def save_trace_json(
     out: AmstOutput, path: str | os.PathLike
 ) -> list[IterationTrace]:
-    """Write config, summary and trace rows to a JSON file."""
+    """Write config, summary and trace rows to a JSON file.
+
+    Parent directories are created as needed; the write is atomic
+    (tempfile + rename).
+    """
     rows = trace_run(out)
     payload = {
         "config": {
@@ -102,8 +138,7 @@ def save_trace_json(
         "summary": out.report.summary(),
         "iterations": [asdict(r) for r in rows],
     }
-    with open(path, "w", encoding="ascii") as fh:
-        json.dump(payload, fh, indent=2)
+    _write_text_atomic(path, json.dumps(payload, indent=2))
     return rows
 
 

@@ -47,6 +47,7 @@ __all__ = [
     "resolve_arrays",
     "resolve_graph",
     "shm_available",
+    "shm_counters",
 ]
 
 log = logging.getLogger(__name__)
@@ -57,6 +58,27 @@ except ImportError:  # pragma: no cover - all supported platforms have it
     _shm = None
 
 _warned_fallback = False
+
+#: per-process traffic counters of the zero-copy layer (telemetry feeds
+#: these into the ``shm.*`` metric namespace — see ``repro.obs``)
+_COUNTERS = {
+    "publishes": 0,  # segments successfully created
+    "published_bytes": 0,  # total bytes packed into segments
+    "fallbacks": 0,  # publish calls that fell back to pickling
+    "segment_attaches": 0,  # first-time attaches in this process
+    "attaches": 0,  # bundle attach calls (incl. cached segments)
+}
+
+
+def shm_counters() -> dict[str, int]:
+    """Snapshot of this process's publish/attach/fallback counters."""
+    return dict(_COUNTERS)
+
+
+def _reset_counters() -> None:
+    """Zero the counters (test isolation helper)."""
+    for key in _COUNTERS:
+        _COUNTERS[key] = 0
 
 
 def shm_available() -> bool:
@@ -145,6 +167,7 @@ class GraphStore:
         arrays = tuple(np.ascontiguousarray(a) for a in arrays)
         if _shm is None:
             _warn_fallback("multiprocessing.shared_memory not importable")
+            _COUNTERS["fallbacks"] += 1
             return arrays
         offsets, total = [], 0
         for a in arrays:
@@ -157,8 +180,11 @@ class GraphStore:
             )
         except OSError as exc:
             _warn_fallback(f"segment creation failed: {exc}")
+            _COUNTERS["fallbacks"] += 1
             return arrays
         self._segments.append(seg)
+        _COUNTERS["publishes"] += 1
+        _COUNTERS["published_bytes"] += total
         for a, off in zip(arrays, offsets):
             dst = np.ndarray(a.shape, dtype=a.dtype, buffer=seg.buf,
                              offset=off)
@@ -189,6 +215,7 @@ def _attach_segment(name: str):
     if name in _ATTACHED:
         return _ATTACHED[name][0]
     seg = _shm.SharedMemory(name=name)
+    _COUNTERS["segment_attaches"] += 1
     try:
         # Under "spawn", attaching registers the segment with the
         # *worker's own* resource tracker, which would unlink it when
@@ -210,6 +237,7 @@ def _attach_segment(name: str):
 def attach_arrays(bundle: SharedArrayBundle) -> tuple[np.ndarray, ...]:
     """Read-only NumPy views over a published bundle (zero-copy)."""
     seg = _attach_segment(bundle.name)
+    _COUNTERS["attaches"] += 1
     out, off = [], 0
     for dtype_str, shape in bundle.specs:
         dt = np.dtype(dtype_str)

@@ -29,12 +29,14 @@ weights) — the report ``amst verify`` prints before exiting non-zero.
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..core import Amst, AmstConfig
 from ..graph.csr import CSRGraph
+from ..obs.context import current_telemetry
 from ..mst import (
     boruvka,
     certify_minimum_forest,
@@ -395,12 +397,23 @@ def run_oracle(
         configs = ORACLE_CONFIGS
     canonical = next(iter(references))
 
-    if jobs > 1 and len(references) + len(configs) > 1:
-        ref_results, ref_boruvka, sim_payloads = _parallel_runs(
-            graph, references, configs, certify, jobs)
-    else:
-        ref_results, ref_boruvka, sim_payloads = _serial_runs(
-            graph, references, configs, certify, cache)
+    tel = current_telemetry()
+    oracle_scope = (
+        tel.spans.span(
+            "oracle", category="phase",
+            n=graph.num_vertices, m=graph.num_edges,
+            configs=len(configs), references=len(references),
+        )
+        if tel is not None
+        else nullcontext()
+    )
+    with oracle_scope:
+        if jobs > 1 and len(references) + len(configs) > 1:
+            ref_results, ref_boruvka, sim_payloads = _parallel_runs(
+                graph, references, configs, certify, jobs)
+        else:
+            ref_results, ref_boruvka, sim_payloads = _serial_runs(
+                graph, references, configs, certify, cache)
 
     report = OracleReport(
         num_vertices=graph.num_vertices,
@@ -444,4 +457,7 @@ def run_oracle(
             report.mismatches.append(
                 OracleMismatch(name, "certificate", cert_error)
             )
+    if tel is not None:
+        tel.metrics.inc("oracle.entries", len(report.entries))
+        tel.metrics.inc("oracle.mismatches", len(report.mismatches))
     return report

@@ -76,8 +76,8 @@ class TestLRUTier:
         for _ in range(3):
             cache.get_or_compute("k", lambda: calls.append(1) or "v")
         assert len(calls) == 1
-        assert cache.stats.memory_hits == 2
-        assert cache.stats.misses == 1
+        assert cache.stats()["memory_hits"] == 2
+        assert cache.stats()["misses"] == 1
 
     def test_lru_eviction_order(self):
         cache = RunCache(max_memory_entries=2)
@@ -87,7 +87,7 @@ class TestLRUTier:
         cache.put("c", 3)
         assert cache.get("b") is None
         assert cache.get("a") == 1 and cache.get("c") == 3
-        assert cache.stats.evictions == 1
+        assert cache.stats()["evictions"] == 1
 
     def test_zero_capacity_disables_memory(self):
         cache = RunCache(max_memory_entries=0)
@@ -102,7 +102,7 @@ class TestDiskTier:
         b = RunCache(disk_dir=tmp_path)  # fresh memory tier
         value = b.get("key")
         np.testing.assert_array_equal(value["x"], np.arange(4))
-        assert b.stats.disk_hits == 1
+        assert b.stats()["disk_hits"] == 1
 
     def test_corrupt_file_is_a_miss(self, tmp_path):
         cache = RunCache(disk_dir=tmp_path)
@@ -138,7 +138,7 @@ class TestDomainHelpers:
         b = cached_preprocess(graph, reorder="identity",
                               sort_edges_by_weight=True, cache=cache)
         assert a is not b
-        assert cache.stats.misses == 2
+        assert cache.stats()["misses"] == 2
 
     def test_cached_reference_identical(self, graph):
         cache = RunCache()
@@ -176,7 +176,7 @@ class TestDomainHelpers:
                                    cache=cache)
         assert direct is None  # the simulator's forest certifies
         assert warm == direct and again == direct
-        assert cache.stats.memory_hits >= 1
+        assert cache.stats()["memory_hits"] >= 1
 
     def test_cached_certificate_caches_failure_verdicts(self, graph):
         cache = RunCache()

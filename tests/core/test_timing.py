@@ -45,6 +45,29 @@ class TestHostTimers:
     def test_format_empty(self):
         assert "no samples" in format_host_profile(HostTimers())
 
+    def test_format_is_deterministic_for_same_workload(self):
+        # counts_only drops wall-clock readings, so two runs of the same
+        # workload must render byte-identically (stable sort + fixed
+        # formatting), which `amst runs diff` relies on.
+        g = rmat(6, 8, rng=5)
+        cfg = AmstConfig.full(4, cache_vertices=64)
+        texts = []
+        for _ in range(2):
+            out = Amst(cfg).run(g)
+            texts.append(format_host_profile(
+                out.report.extra["host_timing"], counts_only=True))
+        assert texts[0] == texts[1]
+        assert "call counts only" in texts[0]
+        assert "stage.fm" in texts[0]
+
+    def test_rows_sorted_by_name(self):
+        t = HostTimers()
+        t.add("stage.zz", 1.0)
+        t.add("stage.aa", 2.0)
+        lines = format_host_profile(t).splitlines()
+        rows = [ln for ln in lines if "stage." in ln]
+        assert rows == sorted(rows)
+
 
 class TestTimedSubsystem:
     class Inner:

@@ -60,6 +60,27 @@ class TestExport:
         assert len(payload["iterations"]) > 0
 
 
+class TestAtomicExport:
+    def test_csv_creates_parent_dirs(self, run_output, tmp_path):
+        path = tmp_path / "deep" / "nested" / "trace.csv"
+        rows = save_trace_csv(run_output, path)
+        assert path.exists()
+        with open(path) as fh:
+            assert len(list(csv.DictReader(fh))) == len(rows)
+
+    def test_json_creates_parent_dirs(self, run_output, tmp_path):
+        path = tmp_path / "a" / "b" / "trace.json"
+        save_trace_json(run_output, path)
+        payload = json.loads(path.read_text())
+        assert payload["config"]["parallelism"] == 8
+
+    def test_no_temp_files_left_behind(self, run_output, tmp_path):
+        save_trace_csv(run_output, tmp_path / "t.csv")
+        save_trace_json(run_output, tmp_path / "t.json")
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["t.csv", "t.json"]
+
+
 class TestProfile:
     def test_profile_renders(self, run_output):
         text = format_profile(run_output)

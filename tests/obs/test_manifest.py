@@ -1,0 +1,105 @@
+"""Run-manifest store, validation, and regression diffing."""
+
+import json
+
+import pytest
+
+from repro.core import Amst, AmstConfig
+from repro.graph import rmat
+from repro.obs import (
+    RunStore,
+    Telemetry,
+    compare_json_files,
+    compare_manifests,
+    compare_metrics,
+    flatten_numeric,
+    new_run_context,
+)
+from repro.obs.validate import validate_run_dir
+
+CFG = AmstConfig.full(4, cache_vertices=64)
+
+
+def _recorded_telemetry(run_id: str) -> Telemetry:
+    tel = Telemetry(context=new_run_context(run_id=run_id, command="test"))
+    out = Amst(CFG).run(rmat(6, 6, rng=9), telemetry=tel)
+    tel.record_output(out)
+    return tel
+
+
+class TestRunStore:
+    def test_write_and_validate_roundtrip(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        run_dir = store.write(_recorded_telemetry("r1"))
+        assert run_dir.name == "r1"
+        assert validate_run_dir(run_dir) == []
+        manifest = store.load_manifest("r1")
+        assert manifest["run"]["run_id"] == "r1"
+        assert manifest["metrics"]["sim.iterations"] >= 1
+
+    def test_resolve_latest_and_paths(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        store.write(_recorded_telemetry("a"))
+        run_dir = store.write(_recorded_telemetry("b"))
+        assert store.resolve("latest").parent.name in {"a", "b"}
+        assert store.resolve("b") == run_dir / "manifest.json"
+        assert store.resolve(str(run_dir)) == run_dir / "manifest.json"
+        with pytest.raises(FileNotFoundError):
+            store.resolve("nope")
+
+    def test_list_runs(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        assert store.list_runs() == []
+        store.write(_recorded_telemetry("x"))
+        runs = store.list_runs()
+        assert [r["run"]["run_id"] for r in runs] == ["x"]
+
+
+class TestRegression:
+    def test_identical_runs_produce_no_flags(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        a = store.write(_recorded_telemetry("a"))
+        b = store.write(_recorded_telemetry("b"))
+        report = compare_json_files(a / "manifest.json",
+                                    b / "manifest.json")
+        assert report.ok
+        assert report.compared > 10
+
+    def test_injected_cycle_regression_is_flagged(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        base = store.write(_recorded_telemetry("base"))
+        data = json.loads((base / "manifest.json").read_text())
+        data["metrics"]["sim.cycles.total"] *= 1.15  # ≥10% regression
+        tampered = tmp_path / "tampered.json"
+        tampered.write_text(json.dumps(data))
+        report = compare_json_files(base / "manifest.json", tampered)
+        assert not report.ok
+        assert [d.name for d in report.flagged] == ["sim.cycles.total"]
+        assert report.flagged[0].rel == pytest.approx(0.15)
+
+    def test_nondeterministic_namespaces_skipped(self):
+        report = compare_metrics(
+            {"host.stage.fm.seconds": 1.0, "sim.iterations": 4},
+            {"host.stage.fm.seconds": 9.0, "sim.iterations": 4},
+        )
+        assert report.ok and report.compared == 1
+
+    def test_one_sided_metrics_reported_not_flagged(self):
+        report = compare_metrics({"a": 1.0}, {"b": 2.0})
+        assert report.ok
+        assert report.only_base == ["a"] and report.only_new == ["b"]
+
+    def test_threshold_boundary(self):
+        base, new = {"m": 100.0}, {"m": 110.0}
+        assert not compare_metrics(base, new, threshold=0.10).ok
+        assert compare_metrics(base, new, threshold=0.11).ok
+
+    def test_flatten_numeric_for_bench_records(self):
+        flat = flatten_numeric(
+            {"a": {"b": 1}, "list": [2, {"c": 3}], "skip": True, "s": "x"})
+        assert flat == {"a.b": 1.0, "list[0]": 2.0, "list[1].c": 3.0}
+
+    def test_compare_manifests_reads_metric_maps(self):
+        a = {"metrics": {"m": 1.0}}
+        b = {"metrics": {"m": 2.0}}
+        assert not compare_manifests(a, b).ok

@@ -1,0 +1,95 @@
+"""Metrics registry: recording, merging, flat view, Prometheus export."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, prometheus_name
+from repro.obs.validate import validate_prometheus_text
+
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        m = MetricsRegistry()
+        m.inc("events.fm.tasks", 3)
+        m.inc("events.fm.tasks", 2)
+        assert m.counters["events.fm.tasks"] == 5
+
+    def test_gauges_last_write_wins(self):
+        m = MetricsRegistry()
+        m.set_gauge("sim.meps", 10.0)
+        m.set_gauge("sim.meps", 20.0)
+        assert m.gauges["sim.meps"] == 20.0
+
+    def test_histogram_buckets_cumulative(self):
+        m = MetricsRegistry()
+        for v in (50, 150, 150, 5000):
+            m.observe("cycles", v, buckets=(100, 1000))
+        snap = m.as_dict()["histograms"]["cycles"]
+        assert snap["counts"] == [1, 2, 1]  # <=100, <=1000, +Inf
+        assert snap["count"] == 4
+        assert snap["sum"] == 5350.0
+
+
+class TestFlat:
+    def test_sorted_merge_of_counters_and_gauges(self):
+        m = MetricsRegistry()
+        m.inc("b.count", 1)
+        m.set_gauge("a.rate", 0.5)
+        assert list(m.flat()) == ["a.rate", "b.count"]
+
+    def test_name_collision_raises(self):
+        m = MetricsRegistry()
+        m.inc("x", 1)
+        m.set_gauge("x", 2.0)
+        with pytest.raises(ValueError):
+            m.flat()
+
+    def test_histograms_not_in_flat(self):
+        m = MetricsRegistry()
+        m.observe("h", 1.0)
+        assert m.flat() == {}
+
+
+class TestMerge:
+    def test_worker_snapshot_merges(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.inc("n", 1)
+        worker.inc("n", 2)
+        worker.set_gauge("g", 7.0)
+        worker.observe("h", 5.0, buckets=(10.0,))
+        parent.merge_snapshot(worker.as_dict())
+        assert parent.counters["n"] == 3
+        assert parent.gauges["g"] == 7.0
+        assert parent.as_dict()["histograms"]["h"]["count"] == 1
+
+    def test_histogram_bucket_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 1.0, buckets=(10.0,))
+        b.observe("h", 1.0, buckets=(20.0,))
+        with pytest.raises(ValueError):
+            a.merge_snapshot(b.as_dict())
+
+
+class TestPrometheus:
+    def test_name_sanitization(self):
+        assert prometheus_name("events.fm.tasks") == "amst_events_fm_tasks"
+        assert prometheus_name("a-b.c", namespace="") == "a_b_c"
+
+    def test_export_is_valid_exposition_format(self):
+        m = MetricsRegistry()
+        m.inc("events.fm.tasks", 42)
+        m.set_gauge("sim.meps", 55.7)
+        m.observe("sim.iteration_cycles", 1234.5, buckets=(1e3, 1e4))
+        text = m.to_prometheus()
+        assert validate_prometheus_text(text) == []
+        assert "# TYPE amst_events_fm_tasks counter" in text
+        assert "# TYPE amst_sim_meps gauge" in text
+        assert 'amst_sim_iteration_cycles_bucket{le="+Inf"} 1' in text
+
+    def test_empty_registry_exports_empty(self):
+        assert MetricsRegistry().to_prometheus() == ""
+        assert validate_prometheus_text("") == []
+
+    def test_validator_rejects_garbage(self):
+        assert validate_prometheus_text("not a metric line!") != []
+        # sample without a TYPE declaration
+        assert validate_prometheus_text("amst_x 1\n") != []

@@ -100,6 +100,99 @@ class TestNewCommands:
         assert "Sweep-pipe" in capsys.readouterr().out
 
 
+class TestTelemetryCLI:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.telemetry is False
+        assert args.runs_dir == "runs"
+        assert args.run_id is None
+
+    def test_runs_diff_defaults(self):
+        args = build_parser().parse_args(["runs", "diff", "base"])
+        assert args.new == "latest"
+        assert args.threshold == pytest.approx(0.10)
+        assert args.all_metrics is False
+
+    def test_runs_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["runs"])
+
+    def test_run_telemetry_writes_run_dir(self, capsys, tmp_path):
+        from repro.obs.validate import validate_run_dir
+
+        runs_dir = tmp_path / "runs"
+        assert main(["run", "--dataset", "EF", "--scale", "0.25",
+                     "--parallelism", "4", "--telemetry",
+                     "--runs-dir", str(runs_dir), "--run-id", "t1"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry    : run t1" in out
+        run_dir = runs_dir / "t1"
+        assert (run_dir / "manifest.json").exists()
+        assert (run_dir / "metrics.prom").exists()
+        assert (run_dir / "trace.json").exists()
+        assert validate_run_dir(run_dir) == []
+
+    def test_run_telemetry_jobs_merges_worker_spans(self, tmp_path):
+        import json
+
+        runs_dir = tmp_path / "runs"
+        assert main(["run", "--dataset", "EF", "--scale", "0.25",
+                     "--parallelism", "4", "--jobs", "2", "--telemetry",
+                     "--runs-dir", str(runs_dir), "--run-id", "t2"]) == 0
+        trace = json.loads((runs_dir / "t2" / "trace.json").read_text())
+        pids = {e["pid"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert len(pids) >= 2
+        assert trace["otherData"]["run_id"] == "t2"
+
+    def test_runs_list_and_show(self, capsys, tmp_path):
+        runs_dir = tmp_path / "runs"
+        main(["run", "--dataset", "EF", "--scale", "0.25",
+              "--parallelism", "4", "--telemetry",
+              "--runs-dir", str(runs_dir), "--run-id", "t3"])
+        capsys.readouterr()
+        assert main(["runs", "list", "--runs-dir", str(runs_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "t3" in out and "run id" in out
+        assert main(["runs", "show", "t3",
+                     "--runs-dir", str(runs_dir)]) == 0
+        assert '"run_id": "t3"' in capsys.readouterr().out
+
+    def test_runs_list_empty_dir(self, capsys, tmp_path):
+        assert main(["runs", "list",
+                     "--runs-dir", str(tmp_path / "none")]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_runs_diff_flags_injected_regression(self, capsys, tmp_path):
+        import json
+
+        runs_dir = tmp_path / "runs"
+        for rid in ("base", "new"):
+            main(["run", "--dataset", "EF", "--scale", "0.25",
+                  "--parallelism", "4", "--telemetry",
+                  "--runs-dir", str(runs_dir), "--run-id", rid])
+        capsys.readouterr()
+        # identical workloads diff clean
+        assert main(["runs", "diff", "base", "new",
+                     "--runs-dir", str(runs_dir)]) == 0
+        capsys.readouterr()
+        # inject a 15% cycle regression into the new manifest
+        path = runs_dir / "new" / "manifest.json"
+        data = json.loads(path.read_text())
+        data["metrics"]["sim.cycles.total"] *= 1.15
+        path.write_text(json.dumps(data))
+        assert main(["runs", "diff", "base", "new",
+                     "--runs-dir", str(runs_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "sim.cycles.total" in out
+
+    def test_verify_telemetry_prints_cache_stats(self, capsys, tmp_path):
+        assert main(["verify", "--case", "paper-full", "--telemetry",
+                     "--runs-dir", str(tmp_path / "runs")]) == 0
+        out = capsys.readouterr().out
+        assert "run cache    :" in out
+        assert "telemetry    : run" in out
+
+
 class TestVerifyCommand:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["verify"])
