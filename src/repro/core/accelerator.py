@@ -75,6 +75,7 @@ class Amst:
         preprocessed: PreprocessResult | None = None,
         max_iterations: int | None = None,
         telemetry=None,
+        backend: str | None = None,
     ) -> AmstOutput:
         """Compute the minimum spanning forest of ``graph``.
 
@@ -88,28 +89,39 @@ class Amst:
         records a run → iteration → stage → subsystem span tree and is
         strictly read-only: the result is byte-identical with telemetry
         on or off.
+
+        ``backend`` overrides ``config.backend`` for this run only —
+        the kernel execution tier (``"auto"``/``"numpy"``/``"numba"``/
+        ``"python"``, see :mod:`repro.kernels`); results are identical
+        across backends, only host speed changes.
         """
+        cfg = (
+            self.config
+            if backend is None
+            else self.config.with_(backend=backend)
+        )
         tel = telemetry if telemetry is not None else current_telemetry()
         run_scope = (
             tel.spans.span(
                 "amst.run", category="run",
                 n=graph.num_vertices, m=graph.num_edges,
-                parallelism=self.config.parallelism,
+                parallelism=cfg.parallelism,
+                backend=cfg.backend,
             )
             if tel is not None
             else nullcontext()
         )
         with run_scope:
-            return self._run(graph, preprocessed, max_iterations, tel)
+            return self._run(cfg, graph, preprocessed, max_iterations, tel)
 
     def _run(
         self,
+        cfg: AmstConfig,
         graph: CSRGraph,
         preprocessed: PreprocessResult | None,
         max_iterations: int | None,
         tel,
     ) -> AmstOutput:
-        cfg = self.config
         if preprocessed is None:
             pre_scope = (
                 tel.spans.span("preprocess", category="stage")

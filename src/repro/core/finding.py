@@ -31,7 +31,7 @@ from ..memory.hbm import BLOCK_BYTES
 from .events import IterationEvents
 from .sorting_network import bitonic_stage_count
 from .state import SimState
-from .utils import concat_ranges, count_distinct, segment_first, segment_offsets
+from .utils import concat_ranges, count_distinct, segment_offsets
 
 __all__ = ["FindingOutput", "run_finding"]
 
@@ -99,15 +99,24 @@ def run_finding(state: SimState, ev: IterationEvents) -> FindingOutput:
     dst_comp = roots_all[e_dst]
     external = ~flags & (dst_comp != src_comp)
 
-    # ---- SEW early exit: examined prefix per vertex ---------------------
+    # ---- per-vertex segment scan (SEW early exit + candidate pick) ------
+    # One kernel call covers Fig 7 Steps ①-⑤: the first-external probe,
+    # the examined prefix (SEW stops after the first external edge) and
+    # the candidate selection — min (weight, eid) external edge without
+    # SEW, on which path alone the weight/eid arrays are read.
+    kern = state.kernels
+    if kern is None:  # states built outside SimState.initial
+        from ..kernels import numpy_impl as kern
     if cfg.sort_edges_by_weight:
-        first = segment_first(external, offsets)
-        found = first < offsets[1:]
-        exam_end = np.where(found, first + 1, offsets[1:])
+        w_flat = np.empty(0, np.float64)
+        eid_flat = np.empty(0, np.int64)
     else:
-        first = segment_first(external, offsets)  # candidate via min below
-        found = first < offsets[1:]
-        exam_end = offsets[1:].copy()
+        w_flat = g.weight[flat]
+        eid_flat = g.eid[flat]
+    first, found, exam_end, cand_local = kern.fm_scan(
+        external, offsets, seg_id, w_flat, eid_flat,
+        cfg.sort_edges_by_weight,
+    )
     examined = pos < exam_end[seg_id]
 
     # ---- per-edge costs --------------------------------------------------
@@ -183,27 +192,10 @@ def run_finding(state: SimState, ev: IterationEvents) -> FindingOutput:
             state.parent_cache.mark_dead(new_iv_vs)
 
     # ---- candidate selection ---------------------------------------------
-    if cfg.sort_edges_by_weight:
-        cand_flat = flat[first[found]]
-    else:
-        # minimum (weight, eid) external edge per vertex segment
-        ext_pos = np.flatnonzero(external)
-        if ext_pos.size:
-            order = np.lexsort(
-                (g.eid[flat[ext_pos]], g.weight[flat[ext_pos]],
-                 seg_id[ext_pos])
-            )
-            sid = seg_id[ext_pos][order]
-            keep = np.ones(order.size, dtype=bool)
-            keep[1:] = sid[1:] != sid[:-1]
-            cand_flat = flat[ext_pos[order[keep]]]
-            # candidates must align with `found` vertex order
-            cand_seg = sid[keep]
-            tmp = np.full(vs.size, -1, dtype=np.int64)
-            tmp[cand_seg] = cand_flat
-            cand_flat = tmp[found]
-        else:
-            cand_flat = np.empty(0, np.int64)
+    # The scan already picked each vertex's candidate (SEW: the first
+    # external edge; otherwise the minimum (weight, eid) one), aligned
+    # with the `found` vertex order by construction.
+    cand_flat = flat[cand_local[found]]
 
     cand_comp = src_comp_per_v[found]
     cand_w = g.weight[cand_flat]

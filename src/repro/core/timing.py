@@ -108,8 +108,15 @@ class TimedSubsystem:
         return value
 
 
-def format_host_profile(timers, *, counts_only: bool = False) -> str:
-    """Fixed-width table of host time per stage and subsystem.
+def format_host_profile(
+    timers, *, counts_only: bool = False, backend: str | None = None
+) -> str:
+    """Fixed-width table of host time per stage, subsystem and kernel.
+
+    ``backend`` (when given) prints a ``backend = <tier>`` line under the
+    header, so NumPy-vs-Numba attribution of the ``kernel.*`` rows is
+    visible in the same output (``amst run --backend numba
+    --profile-host``).
 
     Accepts either a :class:`HostTimers` or its :meth:`~HostTimers.snapshot`
     dict (the form ``PerfReport.extra["host_timing"]`` carries).  Stage
@@ -137,7 +144,14 @@ def format_host_profile(timers, *, counts_only: bool = False) -> str:
     else:
         lines = ["host profile (wall-clock, simulator itself)",
                  "--------------------------------------------"]
-    for prefix, title in (("stage.", "per stage"), ("sub.", "per subsystem")):
+    if backend is not None:
+        lines.append(f"backend = {backend}")
+    header_len = len(lines)
+    for prefix, title in (
+        ("stage.", "per stage"),
+        ("sub.", "per subsystem"),
+        ("kernel.", "per kernel"),
+    ):
         rows = sorted(
             (k, v) for k, v in timers.seconds.items() if k.startswith(prefix)
         )
@@ -155,6 +169,6 @@ def format_host_profile(timers, *, counts_only: bool = False) -> str:
                 f"  {name:<22s} {secs * 1e3:12.3f} ms "
                 f"{share:5.1f} %  {calls:>9d} calls"
             )
-    if len(lines) == 2:
+    if len(lines) == header_len:
         lines.append("  (no samples recorded)")
     return "\n".join(lines) + "\n"

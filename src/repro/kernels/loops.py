@@ -1,0 +1,258 @@
+"""Loop-form kernel bodies: the compiled tier's single source of truth.
+
+Every function here is written in the restricted dialect Numba's
+``@njit`` accepts — explicit loops over typed NumPy arrays, no Python
+objects, no fancy NumPy API — **and** runs unmodified as plain Python.
+That duality is the safety story of the kernel tier:
+
+* ``repro.kernels.numba_impl`` wraps these exact functions in
+  ``numba.njit`` — the compiled tier never has a second algorithm to
+  drift from;
+* the ``python`` debug backend dispatches to them undecorated, so the
+  byte-identity suite (``tests/verify/test_kernel_identity.py``) proves
+  loop-vs-NumPy equality even on hosts without Numba installed.
+
+Identity contract (see docs/PERFORMANCE.md "Compiled kernel tier"):
+each function must produce *bitwise* the same outputs as its NumPy
+reference in ``repro.kernels.numpy_impl`` — same values, same dtypes,
+same float operation order where floats are accumulated, and same
+read-before-write semantics where the NumPy form gathers before it
+scatters (see :func:`cm_commit`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "resolve_roots",
+    "pointer_jump",
+    "find_many",
+    "kruskal_union",
+    "lru_replay",
+    "fm_scan",
+    "rape_mirrors",
+    "cm_commit",
+]
+
+
+def resolve_roots(parent):
+    """Root of every vertex, with path compression on a scratch copy.
+
+    Output equals the pointer-jumping fixed point: ``out[v]`` is the
+    unique chain terminal (``parent[r] == r``) reachable from ``v``.
+    The input array is never modified.
+    """
+    n = parent.shape[0]
+    out = parent.copy()
+    for v in range(n):
+        r = out[v]
+        while out[r] != r:
+            r = out[r]
+        c = v
+        while out[c] != r:
+            nxt = out[c]
+            out[c] = r
+            c = nxt
+    return out
+
+
+def pointer_jump(parent):
+    """Full in-place path compression (``parent[v] = root(v)`` for all).
+
+    Same fixed point as the vectorized ``parent = parent[parent]``
+    doubling loop; the array is modified in place and returned.
+    """
+    n = parent.shape[0]
+    for v in range(n):
+        r = parent[v]
+        while parent[r] != r:
+            r = parent[r]
+        c = v
+        while parent[c] != r:
+            nxt = parent[c]
+            parent[c] = r
+            c = nxt
+    return parent
+
+
+def find_many(parent, xs):
+    """Read-only batched root lookup (no compression writes)."""
+    m = xs.shape[0]
+    out = np.empty(m, np.int64)
+    for i in range(m):
+        r = parent[xs[i]]
+        while parent[r] != r:
+            r = parent[r]
+        out[i] = r
+    return out
+
+
+def kruskal_union(n, u, v, w):
+    """Kruskal's union loop over edges already in ``(weight, id)`` order.
+
+    Returns ``(chosen, num_components, total)`` where ``chosen[e]`` marks
+    accepted edges (positions in the given order), and ``total`` is the
+    running float64 sum accumulated *in acceptance order* — the exact
+    operation sequence of the scalar reference loop, so the resulting
+    weight is bitwise identical.  The DSU internals (union by rank, path
+    halving) cannot change the accepted edge set: acceptance only
+    depends on connectivity, which every DSU variant preserves.
+    """
+    m = u.shape[0]
+    parent = np.empty(n, np.int64)
+    for i in range(n):
+        parent[i] = i
+    rank = np.zeros(n, np.int8)
+    chosen = np.zeros(m, np.bool_)
+    comps = n
+    total = 0.0
+    for e in range(m):
+        a = u[e]
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        b = v[e]
+        while parent[b] != b:
+            parent[b] = parent[parent[b]]
+            b = parent[b]
+        if a != b:
+            if rank[a] < rank[b]:
+                a, b = b, a
+            parent[b] = a
+            if rank[a] == rank[b]:
+                rank[a] += 1
+            comps -= 1
+            chosen[e] = True
+            total += w[e]
+            if comps == 1:
+                break
+    return chosen, comps, total
+
+
+def lru_replay(ids, tags, stamps, clock, nsets, ways):
+    """Exact scalar set-associative LRU replay (allocate on access).
+
+    Mutates ``tags`` / ``stamps`` in place; returns ``(hits, evictions,
+    clock)``.  Semantics match ``ScalarLRUCache._touch`` access for
+    access: hit refreshes the *first* matching way, miss evicts the
+    first minimum-stamp way — the tie-breaks the vectorized replay
+    reproduces via ``argmax`` / ``argmin``.
+    """
+    n = ids.shape[0]
+    hits = np.empty(n, np.bool_)
+    evictions = 0
+    for i in range(n):
+        vid = ids[i]
+        s = vid % nsets
+        clock += 1
+        hit = False
+        for wy in range(ways):
+            if tags[s, wy] == vid:
+                stamps[s, wy] = clock
+                hit = True
+                break
+        if not hit:
+            victim = 0
+            best = stamps[s, 0]
+            for wy in range(1, ways):
+                if stamps[s, wy] < best:
+                    best = stamps[s, wy]
+                    victim = wy
+            if tags[s, victim] >= 0:
+                evictions += 1
+            tags[s, victim] = vid
+            stamps[s, victim] = clock
+        hits[i] = hit
+    return hits, evictions, clock
+
+
+def fm_scan(external, offsets, seg_id, w, eid, sew):
+    """Finding Module per-vertex edge-segment scan (Fig 7 Steps ①-⑤).
+
+    ``external`` flags each flattened edge position; ``offsets`` bounds
+    segment ``s`` at ``[offsets[s], offsets[s+1])``.  Returns per
+    segment: ``first`` (flat index of the first external edge, or the
+    segment end when none), ``found``, ``exam_end`` (exclusive end of
+    the examined prefix — SEW stops after the first external edge) and
+    ``cand`` (flat index of the selected candidate edge, ``-1`` when the
+    segment has no external edge).  Without SEW the candidate is the
+    minimum ``(weight, eid)`` external edge, earliest position on exact
+    ties; ``w`` / ``eid`` are only read on that path (``seg_id`` is
+    carried for the NumPy implementation's signature and unused here).
+    """
+    k = offsets.shape[0] - 1
+    first = np.empty(k, np.int64)
+    found = np.empty(k, np.bool_)
+    exam_end = np.empty(k, np.int64)
+    cand = np.full(k, -1, np.int64)
+    for s in range(k):
+        lo = offsets[s]
+        hi = offsets[s + 1]
+        f = hi
+        for j in range(lo, hi):
+            if external[j]:
+                f = j
+                break
+        first[s] = f
+        fnd = f < hi
+        found[s] = fnd
+        if sew:
+            if fnd:
+                exam_end[s] = f + 1
+                cand[s] = f
+            else:
+                exam_end[s] = hi
+        else:
+            exam_end[s] = hi
+            if fnd:
+                best = f
+                bw = w[f]
+                be = eid[f]
+                for j in range(f + 1, hi):
+                    if external[j]:
+                        wj = w[j]
+                        if wj < bw or (wj == bw and eid[j] < be):
+                            best = j
+                            bw = wj
+                            be = eid[j]
+                cand[s] = best
+    return first, found, exam_end, cand
+
+
+def rape_mirrors(me_eid, cand, tgt):
+    """Stage-2 mirror detection: mutual minimum edge, smaller root side.
+
+    ``out[i]`` is True when candidate root ``cand[i]`` and its target
+    ``tgt[i]`` selected the same undirected edge and ``cand[i]`` is the
+    smaller root id (Algorithm 1 lines 13-14).
+    """
+    m = cand.shape[0]
+    out = np.empty(m, np.bool_)
+    for i in range(m):
+        c = cand[i]
+        t = tgt[i]
+        out[i] = (me_eid[t] == me_eid[c]) and (c < t)
+    return out
+
+
+def cm_commit(parent, roots, root_final, leaf_ids):
+    """Compressing Module functional commit (roots first, then leaves).
+
+    Returns a fresh Parent array with refreshed roots and every live
+    leaf collapsed by one double-hop.  The leaf pass gathers *all*
+    ``out[out[leaf]]`` values before scattering any of them — the exact
+    read-before-write semantics of the vectorized
+    ``new[leaves] = new[new[leaves]]`` form (a leaf whose parent is
+    another hooked leaf must read that leaf's pre-pass pointer).
+    """
+    out = parent.copy()
+    for i in range(roots.shape[0]):
+        out[roots[i]] = root_final[i]
+    k = leaf_ids.shape[0]
+    vals = np.empty(k, np.int64)
+    for i in range(k):
+        vals[i] = out[out[leaf_ids[i]]]
+    for i in range(k):
+        out[leaf_ids[i]] = vals[i]
+    return out

@@ -1,0 +1,29 @@
+"""Numba-compiled kernel tier: ``@njit`` wrapping of the loop bodies.
+
+There is deliberately **no algorithm in this module** — it decorates the
+functions of :mod:`repro.kernels.loops` verbatim, so the compiled tier
+can never drift from the code the identity suite pins.  ``cache=True``
+persists compiled machine code in ``__pycache__`` so warm-up after the
+first process is a disk load, not a recompilation; ``fastmath`` stays
+off (it would licence float reassociation and break bitwise identity).
+
+Importing this module requires Numba; callers go through
+:func:`repro.kernels.dispatch.get_kernel_set`, which catches the import
+(or a compilation failure) and falls back per the backend contract.
+"""
+
+from __future__ import annotations
+
+from numba import njit
+
+from . import loops
+
+__all__ = ["build"]
+
+
+def build() -> dict:
+    """Compile-wrap every kernel; returns ``{name: njit function}``."""
+    return {
+        name: njit(cache=True)(getattr(loops, name))
+        for name in loops.__all__
+    }

@@ -96,85 +96,33 @@ class _LRUBase:
 class LRUCache(_LRUBase):
     """Set-associative LRU over vertex ids (allocate-on-read-and-write).
 
-    Vectorized replay: see the module docstring for the algorithm and
-    :class:`ScalarLRUCache` for the behavioural reference.
+    The replay itself now lives in the kernel tier
+    (:func:`repro.kernels.numpy_impl.lru_replay` — the vectorized
+    lockstep-rounds algorithm formerly inlined here — and its compiled
+    twin in :mod:`repro.kernels.loops`); this class keeps the cache
+    state, statistics and batch API, and dispatches each batch through
+    the run's :class:`~repro.kernels.dispatch.KernelDispatch` so the
+    backend choice and the ``kernel.lru_replay`` counters apply here
+    exactly like the simulator's other hot loops.
     """
 
+    def __init__(self, capacity: int, ways: int = 8, kernels=None) -> None:
+        super().__init__(capacity, ways)
+        self._kernels = kernels
+
+    def _kern(self):
+        if self._kernels is None:
+            # standalone construction (sweeps, tests): NumPy tier
+            from ..kernels.dispatch import KernelDispatch, get_kernel_set
+
+            self._kernels = KernelDispatch(get_kernel_set("numpy"))
+        return self._kernels
+
     def _replay(self, ids: np.ndarray) -> np.ndarray:
-        n = ids.size
-        hits = np.empty(n, dtype=bool)
-        if n == 0:
-            return hits
-        base = self._clock
-        self._clock += n
-        set_of = ids % self.sets
-        order = np.argsort(set_of, kind="stable")  # keeps in-set order
-        ids_s = ids[order]
-        clk_s = base + 1 + order  # exact scalar per-access clocks
-        set_s = set_of[order]
-
-        # per-set segments in the sorted stream
-        k = np.arange(n, dtype=np.int64)
-        is_start = np.empty(n, dtype=bool)
-        is_start[0] = True
-        np.not_equal(set_s[1:], set_s[:-1], out=is_start[1:])
-        seg_start = k[is_start]
-        seg_idx = np.cumsum(is_start) - 1  # owning segment per element
-        counts = np.diff(np.concatenate((seg_start, [n])))
-        # longest streams first so each round's active rows are a prefix
-        by_len = np.argsort(-counts, kind="stable")
-        rank = np.empty(by_len.size, dtype=np.int64)
-        rank[by_len] = np.arange(by_len.size, dtype=np.int64)
-        su = set_s[seg_start][by_len]
-        counts = counts[by_len]
-        num_rows = su.size
-        num_rounds = int(counts[0])
-
-        # round-major padded layout: element k of the sorted stream lands
-        # at (its in-set position, row of its set), so round r is the
-        # contiguous slice vals[r, :active] and the Python loop runs
-        # max-stream-length times instead of once per access
-        row = rank[seg_idx]
-        col = k - seg_start[seg_idx]
-        vals = np.empty((num_rounds, num_rows), dtype=np.int64)
-        vals[col, row] = ids_s
-        clks = np.empty((num_rounds, num_rows), dtype=np.int64)
-        clks[col, row] = clk_s
-        hit_mat = np.empty((num_rounds, num_rows), dtype=bool)
-        # active rows per round (counts descending ⇒ prefix); padded
-        # cells sit at inactive rows, so they are never read or written
-        active = np.searchsorted(
-            -counts, -np.arange(num_rounds, dtype=np.int64), side="left"
+        hits, evictions, self._clock = self._kern().lru_replay(
+            ids, self._tags, self._stamp, self._clock, self.sets, self.ways
         )
-
-        tags = self._tags[su]  # (active sets, ways) working copies
-        stamps = self._stamp[su]
-        tags_flat = tags.reshape(-1)
-        stamps_flat = stamps.reshape(-1)
-        row_base = np.arange(num_rows, dtype=np.int64) * self.ways
-        cmp_buf = np.empty((num_rows, self.ways), dtype=bool)
-        for r in range(num_rounds):
-            a = active[r]
-            v = vals[r, :a]
-            hit_rows = np.equal(tags[:a], v[:, None], out=cmp_buf[:a])
-            is_hit = hit_rows.any(axis=1)
-            # hit: refresh the matching way; miss: evict the min-stamp way
-            # (argmax/argmin take the first index, matching the scalar
-            # model's flatnonzero[0] / argmin tie-breaks)
-            way = np.where(
-                is_hit, hit_rows.argmax(axis=1), stamps[:a].argmin(axis=1)
-            )
-            flat = row_base[:a] + way
-            self.stats.evictions += int(
-                np.count_nonzero(~is_hit & (tags_flat[flat] >= 0))
-            )
-            tags_flat[flat] = v
-            stamps_flat[flat] = clks[r, :a]
-            hit_mat[r, :a] = is_hit
-
-        self._tags[su] = tags
-        self._stamp[su] = stamps
-        hits[order] = hit_mat[col, row]
+        self.stats.evictions += int(evictions)
         return hits
 
 

@@ -32,7 +32,11 @@ __all__ = [
 ]
 
 #: nondeterministic-by-construction namespaces, skipped unless asked
-DEFAULT_SKIP_PREFIXES: tuple[str, ...] = ("host.", "runcache.", "shm.")
+#: (kernel.time.* is wall-clock per kernel; kernel.dispatch.* counters
+#: are deterministic and stay diffable)
+DEFAULT_SKIP_PREFIXES: tuple[str, ...] = (
+    "host.", "runcache.", "shm.", "kernel.time.",
+)
 
 DEFAULT_THRESHOLD = 0.10
 

@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.graph",
     "repro.mst",
     "repro.memory",
+    "repro.kernels",
     "repro.core",
     "repro.baselines",
     "repro.bench",
