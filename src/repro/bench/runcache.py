@@ -44,6 +44,7 @@ import json
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -132,6 +133,11 @@ class RunCache:
     disk_dir: str | Path | None = None
     _stats: CacheStats = field(default_factory=CacheStats, repr=False)
     _memory: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    # the serving daemon shares one cache across worker threads; the
+    # lock guards the LRU dict and counters (computation in
+    # get_or_compute runs outside it, so misses never serialize)
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False)
 
     @classmethod
     def from_env(cls, max_memory_entries: int = 128) -> "RunCache":
@@ -146,10 +152,11 @@ class RunCache:
 
     def get(self, key: str):
         """Cached value or None (promotes disk hits into memory)."""
-        if key in self._memory:
-            self._memory.move_to_end(key)
-            self._stats.memory_hits += 1
-            return self._memory[key]
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self._stats.memory_hits += 1
+                return self._memory[key]
         if self.disk_dir is not None:
             path = self._disk_path(key)
             if path.exists():
@@ -158,13 +165,15 @@ class RunCache:
                         value = pickle.load(f)
                 except (OSError, pickle.UnpicklingError, EOFError):
                     return None  # torn/corrupt file: treat as miss
-                self._stats.disk_hits += 1
-                self._remember(key, value)
+                with self._lock:
+                    self._stats.disk_hits += 1
+                    self._remember(key, value)
                 return value
         return None
 
     def put(self, key: str, value) -> None:
-        self._remember(key, value)
+        with self._lock:
+            self._remember(key, value)
         if self.disk_dir is not None:
             path = self._disk_path(key)
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -173,9 +182,11 @@ class RunCache:
                 with os.fdopen(fd, "wb") as f:
                     pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(tmp, path)  # atomic on POSIX
-                self._stats.disk_writes += 1
+                with self._lock:
+                    self._stats.disk_writes += 1
             except OSError:  # pragma: no cover - disk tier best-effort
-                self._stats.disk_errors += 1
+                with self._lock:
+                    self._stats.disk_errors += 1
                 try:
                     os.unlink(tmp)
                 except OSError:
@@ -198,28 +209,53 @@ class RunCache:
         ``runcache.*`` telemetry namespace in ``repro.obs``) can consume
         it without reaching into the mutable internal counters.
         """
-        s = self._stats
-        return {
-            "memory_hits": s.memory_hits,
-            "disk_hits": s.disk_hits,
-            "hits": s.hits,
-            "misses": s.misses,
-            "evictions": s.evictions,
-            "disk_writes": s.disk_writes,
-            "disk_errors": s.disk_errors,
-            "memory_entries": len(self._memory),
-            "disk_enabled": self.disk_dir is not None,
-        }
+        with self._lock:
+            s = self._stats
+            return {
+                "memory_hits": s.memory_hits,
+                "disk_hits": s.disk_hits,
+                "hits": s.hits,
+                "misses": s.misses,
+                "evictions": s.evictions,
+                "disk_writes": s.disk_writes,
+                "disk_errors": s.disk_errors,
+                "memory_entries": len(self._memory),
+                "disk_enabled": self.disk_dir is not None,
+            }
 
     def get_or_compute(self, key: str, fn: Callable[[], object]):
-        """Return the cached value for ``key`` or compute-and-store it."""
+        """Return the cached value for ``key`` or compute-and-store it.
+
+        The computation runs outside the lock, so concurrent misses on
+        *different* keys proceed in parallel; concurrent misses on the
+        same key at worst duplicate work (last write wins, values are
+        deterministic) — the disk tier's existing guarantee.
+        """
         value = self.get(key)
         if value is not None:
             return value
-        self._stats.misses += 1
+        with self._lock:
+            self._stats.misses += 1
         value = fn()
         self.put(key, value)
         return value
+
+    def drop_fingerprint(self, fingerprint: str) -> int:
+        """Drop every memory-tier entry derived from one graph.
+
+        Keys embed the graph fingerprint as a ``:``-separated component
+        (``run:<graph_fp>:<cfg_fp>`` etc.), so membership is exact, not
+        substring-fuzzy.  The serving daemon calls this on graph
+        eviction; the disk tier is content-addressed and shared across
+        processes, so it is deliberately left alone.  Returns the
+        number of entries dropped.
+        """
+        with self._lock:
+            doomed = [k for k in self._memory
+                      if fingerprint in k.split(":")]
+            for k in doomed:
+                del self._memory[k]
+            return len(doomed)
 
 
 # ----------------------------------------------------------------------

@@ -10,6 +10,9 @@ Subcommands::
     amst verify                                 # oracle + golden traces
     amst verify --update-golden                 # re-bless golden traces
     amst scaleout --cards 4 --jobs 4            # multi-card partitioned MST
+    amst serve --port 8787                      # long-lived daemon
+    amst client publish --dataset RC            # talk to a daemon
+    amst client submit --kind run --graph FP    # async job submission
     amst runs list                              # recorded telemetry runs
     amst runs diff A B                          # flag metric regressions
     amst datasets                               # print Table I
@@ -404,6 +407,84 @@ def _cmd_runs_diff(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the long-lived daemon (docs/SERVING.md)."""
+    from .serve import AmstDaemon, DaemonConfig
+
+    daemon = AmstDaemon(DaemonConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_depth=args.queue_depth,
+        per_client_limit=args.client_limit,
+        runs_dir=args.runs_dir,
+        allow_fault_injection=args.allow_fault_injection,
+    ))
+    daemon.start()
+    print(f"amst-serve   : listening on {daemon.url} "
+          f"(protocol {daemon.health()['protocol']})")
+    print(f"workers      : {args.workers} "
+          f"(queue depth {args.queue_depth}, "
+          f"per-client limit {args.client_limit})")
+    if args.runs_dir:
+        print(f"manifests    : per-job run manifests under "
+              f"{args.runs_dir}/")
+    if args.allow_fault_injection:
+        print("fault hooks  : ENABLED (test harness mode)")
+    daemon.serve_forever()
+    print("amst-serve   : shut down")
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    """One request against a running daemon; prints the JSON response."""
+    import json
+
+    from .serve import ServeClient, ServeClientError
+
+    c = ServeClient(args.url, timeout=args.timeout)
+    try:
+        if args.client_command == "health":
+            out = c.health()
+        elif args.client_command == "publish":
+            out = c.publish(dataset=args.dataset, seed=args.seed,
+                            scale=args.scale, name=args.name)
+        elif args.client_command == "graphs":
+            out = {"graphs": c.graphs()}
+        elif args.client_command == "evict":
+            out = c.evict(args.fingerprint)
+        elif args.client_command == "submit":
+            params = json.loads(args.params) if args.params else {}
+            out = c.submit(kind=args.kind, graph=args.graph,
+                           client=args.client_id,
+                           priority=args.priority, params=params)
+            if args.wait:
+                view = c.wait(out["id"], timeout_s=args.timeout)
+                out = (c.result(out["id"]) if view["state"] == "done"
+                       else view)
+        elif args.client_command == "status":
+            out = c.status(args.job)
+        elif args.client_command == "result":
+            out = c.result(args.job)
+        elif args.client_command == "wait":
+            out = c.wait(args.job, timeout_s=args.timeout)
+        elif args.client_command == "jobs":
+            out = {"jobs": c.jobs()}
+        elif args.client_command == "metrics":
+            print(c.metrics_text(), end="")
+            return 0
+        elif args.client_command == "shutdown":
+            out = c.shutdown(drain=not args.no_drain,
+                             timeout_s=args.timeout)
+        else:  # pragma: no cover - argparse guards choices
+            raise SystemExit(2)
+    except ServeClientError as exc:
+        print(json.dumps(exc.body, indent=2))
+        return 1
+    print(json.dumps(out, indent=2))
+    return 0
+
+
 def _cmd_datasets(args: argparse.Namespace) -> int:
     print(bench.table1_datasets(size=args.scale, seed=args.seed).to_text())
     return 0
@@ -529,6 +610,66 @@ def build_parser() -> argparse.ArgumentParser:
     _add_backend_flag(po)
     _add_telemetry_flags(po)
     po.set_defaults(func=_cmd_scaleout)
+
+    pe = sub.add_parser(
+        "serve", help="long-lived serving daemon (docs/SERVING.md)"
+    )
+    pe.add_argument("--host", default="127.0.0.1")
+    pe.add_argument("--port", type=int, default=8787,
+                    help="listen port (0 = ephemeral)")
+    pe.add_argument("--workers", type=int, default=2,
+                    help="job worker threads")
+    pe.add_argument("--queue-depth", type=int, default=64,
+                    help="max admitted (non-terminal) jobs")
+    pe.add_argument("--client-limit", type=int, default=2,
+                    help="max concurrently running jobs per client id")
+    pe.add_argument("--runs-dir", default=None,
+                    help="record per-job run manifests under this dir")
+    pe.add_argument("--allow-fault-injection", action="store_true",
+                    help="accept test-only fault params "
+                         "(crash/sleep hooks; never in production)")
+    pe.set_defaults(func=_cmd_serve)
+
+    pc = sub.add_parser(
+        "client", help="talk to a running daemon (docs/SERVING.md)"
+    )
+    pc.add_argument("--url", default="http://127.0.0.1:8787")
+    pc.add_argument("--timeout", type=float, default=60.0,
+                    help="request / wait timeout in seconds")
+    csub = pc.add_subparsers(dest="client_command", required=True)
+    csub.add_parser("health", help="daemon liveness + queue depth")
+    cp = csub.add_parser("publish", help="publish a Table I dataset")
+    cp.add_argument("--dataset", required=True,
+                    help="Table I tag (EF/GD/CD/CL/RC/RP/RT/UR/CF/UU)")
+    cp.add_argument("--seed", type=int, default=0)
+    cp.add_argument("--scale", type=float, default=1.0)
+    cp.add_argument("--name", default="")
+    csub.add_parser("graphs", help="list published graphs")
+    ce = csub.add_parser("evict", help="evict a published graph")
+    ce.add_argument("fingerprint")
+    cs = csub.add_parser("submit", help="submit an async job")
+    cs.add_argument("--kind", default="run",
+                    choices=["run", "verify", "sweep"])
+    cs.add_argument("--graph", required=True,
+                    help="published graph fingerprint")
+    cs.add_argument("--client-id", default="cli")
+    cs.add_argument("--priority", type=int, default=0)
+    cs.add_argument("--params", default=None,
+                    help='job params as JSON, e.g. \'{"parallelism": 8}\'')
+    cs.add_argument("--wait", action="store_true",
+                    help="block until terminal; print the result")
+    cst = csub.add_parser("status", help="one job's state")
+    cst.add_argument("job")
+    cr = csub.add_parser("result", help="one finished job's result")
+    cr.add_argument("job")
+    cw = csub.add_parser("wait", help="long-poll until terminal")
+    cw.add_argument("job")
+    csub.add_parser("jobs", help="list all jobs")
+    csub.add_parser("metrics", help="Prometheus text exposition")
+    csh = csub.add_parser("shutdown", help="graceful daemon shutdown")
+    csh.add_argument("--no-drain", action="store_true",
+                     help="cancel queued jobs instead of draining")
+    pc.set_defaults(func=_cmd_client)
 
     pu = sub.add_parser("runs", help="inspect recorded telemetry runs")
     usub = pu.add_subparsers(dest="runs_command", required=True)

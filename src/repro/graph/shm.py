@@ -44,6 +44,7 @@ __all__ = [
     "GraphStore",
     "attach_arrays",
     "attach_graph",
+    "owned_segments",
     "resolve_arrays",
     "resolve_graph",
     "shm_available",
@@ -70,9 +71,26 @@ _COUNTERS = {
 }
 
 
+#: names of segments created by this process's stores and not yet
+#: unlinked — the serving layer's leak accounting rides on this being
+#: empty after every registry eviction / daemon shutdown
+_OWNED: set[str] = set()
+
+
 def shm_counters() -> dict[str, int]:
     """Snapshot of this process's publish/attach/fallback counters."""
     return dict(_COUNTERS)
+
+
+def owned_segments() -> tuple[str, ...]:
+    """Names of live segments this process published and still owns.
+
+    A segment enters on :meth:`GraphStore.publish` and leaves on
+    :meth:`GraphStore.close`, so an empty tuple proves no publisher in
+    this process is leaking shared memory (``tests/serve`` asserts this
+    after daemon shutdown).
+    """
+    return tuple(sorted(_OWNED))
 
 
 def _reset_counters() -> None:
@@ -148,12 +166,17 @@ class GraphStore:
     def close(self) -> None:
         """Close and unlink every segment this store created."""
         for seg in self._segments:
+            _OWNED.discard(seg.name)
             try:
                 seg.close()
                 seg.unlink()
             except (FileNotFoundError, OSError):  # pragma: no cover
                 pass
         self._segments.clear()
+
+    def segment_names(self) -> tuple[str, ...]:
+        """Names of the live segments this store owns."""
+        return tuple(seg.name for seg in self._segments)
 
     # -- publishing ----------------------------------------------------
     def publish(self, *arrays: np.ndarray):
@@ -183,6 +206,7 @@ class GraphStore:
             _COUNTERS["fallbacks"] += 1
             return arrays
         self._segments.append(seg)
+        _OWNED.add(seg.name)
         _COUNTERS["publishes"] += 1
         _COUNTERS["published_bytes"] += total
         for a, off in zip(arrays, offsets):

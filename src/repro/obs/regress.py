@@ -33,9 +33,10 @@ __all__ = [
 
 #: nondeterministic-by-construction namespaces, skipped unless asked
 #: (kernel.time.* is wall-clock per kernel; kernel.dispatch.* counters
-#: are deterministic and stay diffable)
+#: are deterministic and stay diffable; serve.* mixes latency
+#: histograms and uptime gauges with whatever job mix clients sent)
 DEFAULT_SKIP_PREFIXES: tuple[str, ...] = (
-    "host.", "runcache.", "shm.", "kernel.time.",
+    "host.", "runcache.", "shm.", "kernel.time.", "serve.",
 )
 
 DEFAULT_THRESHOLD = 0.10

@@ -82,17 +82,27 @@ class Telemetry:
         before = {
             k: v for k, v in timers.seconds.items() if k.startswith("sub.")
         }
+        from .spans import now_us
+
         with self.spans.span(name, category="stage") as open_span:
             with timers.section(name):
                 yield
             cursor = open_span.start_us
+            # clamp synthetic children to "now": timer deltas come from
+            # perf_counter while span timestamps are epoch-µs, and the
+            # two clocks disagree by enough at ms scale that unclamped
+            # children could end after the stage span does (the
+            # validate_span_tree flake PR 7 fixed)
+            limit = now_us()
             for key in sorted(
                 k for k in timers.seconds if k.startswith("sub.")
             ):
                 delta = timers.seconds[key] - before.get(key, 0.0)
                 if delta <= 0.0:
                     continue
-                dur = int(delta * 1e6)
+                dur = min(int(delta * 1e6), limit - cursor)
+                if dur <= 0:
+                    break
                 self.spans.add_complete(key, "subsystem", cursor, dur)
                 cursor += dur
 

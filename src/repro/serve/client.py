@@ -1,0 +1,174 @@
+"""Stdlib HTTP client for the AMST daemon (``amst client ...``).
+
+One method per daemon route, JSON in/out, no third-party dependencies.
+Error responses raise :class:`ServeClientError` carrying the daemon's
+structured error body, so callers (the CLI, the test harness) branch on
+``exc.code`` instead of parsing strings.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection, RemoteDisconnected
+from typing import Iterator
+from urllib.parse import urlencode, urlparse
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(Exception):
+    """A non-2xx daemon response, with the structured error attached."""
+
+    def __init__(self, status: int, body: dict) -> None:
+        err = body.get("error", {}) if isinstance(body, dict) else {}
+        self.status = status
+        self.code = err.get("code", "internal")
+        self.details = err.get("details", {})
+        self.body = body
+        super().__init__(
+            f"[{status}] {self.code}: {err.get('message', body)}")
+
+
+class ServeClient:
+    """Thin JSON client bound to one daemon base URL."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8787",
+                 timeout: float = 60.0) -> None:
+        parsed = urlparse(url)
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 8787
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: dict | None = None,
+                 query: dict | None = None) -> dict:
+        if query:
+            path = f"{path}?{urlencode(query)}"
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload \
+                else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            data = json.loads(raw) if raw else {}
+            if resp.status >= 400:
+                raise ServeClientError(resp.status, data)
+            return data
+        finally:
+            conn.close()
+
+    # -- daemon lifecycle ----------------------------------------------
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")
+
+    def protocol(self) -> dict:
+        return self._request("GET", "/v1/protocol")
+
+    def metrics_text(self) -> str:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", "/v1/metrics")
+            resp = conn.getresponse()
+            return resp.read().decode()
+        finally:
+            conn.close()
+
+    def shutdown(self, *, drain: bool = True,
+                 timeout_s: float = 30.0) -> dict:
+        return self._request("POST", "/v1/shutdown",
+                             body={"drain": drain, "timeout_s": timeout_s})
+
+    def wait_until_up(self, *, timeout: float = 10.0) -> dict:
+        """Poll ``/v1/health`` until the daemon answers (boot helper)."""
+        deadline = time.monotonic() + timeout
+        last: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                return self.health()
+            except (OSError, RemoteDisconnected,
+                    json.JSONDecodeError) as exc:
+                last = exc
+                time.sleep(0.05)
+        raise TimeoutError(
+            f"daemon at {self.host}:{self.port} not up after "
+            f"{timeout}s: {last}")
+
+    # -- graphs --------------------------------------------------------
+    def publish(self, *, dataset: str | None = None, seed: int = 0,
+                scale: float = 1.0, edges: dict | None = None,
+                name: str = "") -> dict:
+        body: dict = {"name": name}
+        if dataset is not None:
+            body.update({"dataset": dataset, "seed": seed,
+                         "scale": scale})
+        if edges is not None:
+            body["edges"] = edges
+        return self._request("POST", "/v1/graphs", body=body)
+
+    def graphs(self) -> list[dict]:
+        return self._request("GET", "/v1/graphs")["graphs"]
+
+    def evict(self, fingerprint: str) -> dict:
+        return self._request("DELETE", f"/v1/graphs/{fingerprint}")
+
+    # -- jobs ----------------------------------------------------------
+    def submit(self, *, kind: str, graph: str, client: str = "anonymous",
+               priority: int = 0, params: dict | None = None) -> dict:
+        return self._request("POST", "/v1/jobs", body={
+            "kind": kind, "graph": graph, "client": client,
+            "priority": priority, "params": params or {}})
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def wait(self, job_id: str, *, timeout_s: float = 30.0) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/wait",
+                             query={"timeout_s": timeout_s})
+
+    def manifest(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}/manifest")
+
+    def events(self, job_id: str, *,
+               timeout_s: float = 30.0) -> Iterator[dict]:
+        """Yield job state transitions from the NDJSON stream."""
+        conn = HTTPConnection(self.host, self.port,
+                              timeout=timeout_s + 5.0)
+        try:
+            conn.request(
+                "GET",
+                f"/v1/jobs/{job_id}/events?timeout_s={timeout_s}")
+            resp = conn.getresponse()
+            if resp.status >= 400:
+                raise ServeClientError(
+                    resp.status, json.loads(resp.read() or b"{}"))
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def run_to_completion(self, *, kind: str, graph: str,
+                          client: str = "anonymous", priority: int = 0,
+                          params: dict | None = None,
+                          timeout_s: float = 60.0) -> dict:
+        """Submit, wait, and return the result body (convenience)."""
+        job = self.submit(kind=kind, graph=graph, client=client,
+                          priority=priority, params=params)
+        view = self.wait(job["id"], timeout_s=timeout_s)
+        if view["state"] != "done":
+            raise ServeClientError(
+                500, {"error": view.get("error") or {
+                    "code": "job_failed",
+                    "message": f"job ended {view['state']!r}"}})
+        return self.result(job["id"])

@@ -1,0 +1,214 @@
+"""Wire protocol of the AMST serving layer (pinned, golden-tested).
+
+Everything a client and the daemon agree on lives here: the protocol
+version string, the job-state machine, the error vocabulary with its
+HTTP status mapping, the canonical JSON shapes of error bodies and job
+views, and the route table.  ``tests/serve/test_protocol.py`` compares
+:func:`describe` against the committed
+``tests/golden/serve_protocol.json`` snapshot, so any change to the
+wire format is a deliberate, reviewed re-blessing — the same regime the
+golden traces apply to simulator output.
+
+Shapes
+------
+Error body (every non-2xx response)::
+
+    {"error": {"code": "<ERROR_CODES entry>",
+               "message": "<human readable>",
+               "details": {...}}}          # optional, structured
+
+Job view (``GET /v1/jobs/<id>`` and embedded everywhere)::
+
+    {"id": ..., "kind": ..., "client": ..., "priority": ...,
+     "state": ..., "graph": ..., "submitted_at": ..., "started_at": ...,
+     "finished_at": ..., "cache_hit": ..., "error": ..., "history": [...]}
+
+State machine::
+
+    queued --> running --> done
+       |          |
+       |          +------> failed
+       +-----------------> failed      (graph evicted while queued,
+       |                                daemon draining, ...)
+       +-----------------> cancelled
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "PROTOCOL",
+    "JOB_KINDS",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "ERROR_CODES",
+    "STATUS_FOR_CODE",
+    "ROUTES",
+    "ServeError",
+    "assert_transition",
+    "describe",
+    "error_body",
+    "parse_job_request",
+]
+
+PROTOCOL = "amst-serve/1"
+
+JOB_KINDS = ("run", "verify", "sweep")
+
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: legal job-state transitions; anything else is a daemon bug and the
+#: queue raises rather than silently corrupting a job's lifecycle
+TRANSITIONS: dict[str, tuple[str, ...]] = {
+    "queued": ("running", "failed", "cancelled"),
+    "running": ("done", "failed"),
+    "done": (),
+    "failed": (),
+    "cancelled": (),
+}
+
+#: every error code the daemon can return, with its HTTP status
+STATUS_FOR_CODE: dict[str, int] = {
+    "bad_request": 400,       # malformed JSON / missing or invalid field
+    "not_found": 404,         # unknown route, job id or graph
+    "graph_not_found": 404,   # job names a fingerprint never published
+    "graph_evicted": 409,     # graph was published but evicted since
+    "result_not_ready": 409,  # result requested before a terminal state
+    "queue_full": 429,        # queue depth limit reached
+    "shutting_down": 503,     # daemon is draining; no new work accepted
+    "job_failed": 500,        # job body raised (view of a failed job)
+    "worker_crash": 500,      # pool worker died mid-job (view)
+    "internal": 500,          # unexpected daemon-side exception
+}
+ERROR_CODES = tuple(STATUS_FOR_CODE)
+
+#: method/path templates the daemon serves (documentation + golden pin;
+#: the handler in ``server.py`` dispatches on exactly these)
+ROUTES = (
+    "GET /v1/health",
+    "GET /v1/protocol",
+    "GET /v1/metrics",
+    "POST /v1/graphs",
+    "GET /v1/graphs",
+    "DELETE /v1/graphs/{fingerprint}",
+    "POST /v1/jobs",
+    "GET /v1/jobs",
+    "GET /v1/jobs/{id}",
+    "GET /v1/jobs/{id}/result",
+    "GET /v1/jobs/{id}/wait",
+    "GET /v1/jobs/{id}/events",
+    "GET /v1/jobs/{id}/manifest",
+    "POST /v1/shutdown",
+)
+
+#: keys of the canonical job view, in emission order
+JOB_VIEW_KEYS = (
+    "id", "kind", "client", "priority", "state", "graph",
+    "submitted_at", "started_at", "finished_at", "cache_hit", "error",
+    "history",
+)
+
+
+class ServeError(Exception):
+    """A structured, wire-mappable daemon error.
+
+    Raising one anywhere under a request handler (or a job body) turns
+    into the canonical error response; nothing else leaks to clients.
+    """
+
+    def __init__(self, code: str, message: str,
+                 details: dict | None = None) -> None:
+        if code not in STATUS_FOR_CODE:
+            raise ValueError(f"unknown error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.details = details or {}
+
+    @property
+    def status(self) -> int:
+        return STATUS_FOR_CODE[self.code]
+
+    def body(self) -> dict:
+        return error_body(self.code, self.message, self.details)
+
+
+def error_body(code: str, message: str,
+               details: dict | None = None) -> dict:
+    """The canonical error payload shape."""
+    err: dict[str, Any] = {"code": code, "message": message}
+    if details:
+        err["details"] = details
+    return {"error": err}
+
+
+def assert_transition(old: str, new: str) -> None:
+    """Guard a job-state transition against :data:`TRANSITIONS`."""
+    if new not in TRANSITIONS.get(old, ()):
+        raise RuntimeError(
+            f"illegal job transition {old!r} -> {new!r}")
+
+
+# ----------------------------------------------------------------------
+# Request validation
+# ----------------------------------------------------------------------
+_JOB_DEFAULTS = {
+    "client": "anonymous",
+    "priority": 0,
+    "params": {},
+}
+
+
+def parse_job_request(body: object) -> dict:
+    """Validate and normalize a ``POST /v1/jobs`` body.
+
+    Returns ``{"kind", "client", "priority", "graph", "params"}`` or
+    raises ``ServeError("bad_request")`` with a field-level detail — the
+    shape the fault-injection suite pins.
+    """
+    if not isinstance(body, dict):
+        raise ServeError("bad_request", "job request must be a JSON object",
+                         {"got": type(body).__name__})
+    kind = body.get("kind")
+    if kind not in JOB_KINDS:
+        raise ServeError(
+            "bad_request", f"kind must be one of {list(JOB_KINDS)}",
+            {"field": "kind", "got": kind})
+    graph = body.get("graph")
+    if not isinstance(graph, str) or not graph:
+        raise ServeError("bad_request",
+                         "graph must be a published fingerprint",
+                         {"field": "graph", "got": graph})
+    client = body.get("client", _JOB_DEFAULTS["client"])
+    if not isinstance(client, str) or not client:
+        raise ServeError("bad_request", "client must be a non-empty string",
+                         {"field": "client", "got": client})
+    priority = body.get("priority", _JOB_DEFAULTS["priority"])
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ServeError("bad_request", "priority must be an integer",
+                         {"field": "priority", "got": priority})
+    params = body.get("params", {})
+    if not isinstance(params, dict):
+        raise ServeError("bad_request", "params must be a JSON object",
+                         {"field": "params", "got": type(params).__name__})
+    return {"kind": kind, "client": client, "priority": priority,
+            "graph": graph, "params": dict(params)}
+
+
+def describe() -> dict:
+    """Machine-readable protocol description (the golden-pinned view)."""
+    return {
+        "protocol": PROTOCOL,
+        "job_kinds": list(JOB_KINDS),
+        "job_states": list(JOB_STATES),
+        "terminal_states": list(TERMINAL_STATES),
+        "transitions": {k: list(v) for k, v in TRANSITIONS.items()},
+        "error_codes": {code: STATUS_FOR_CODE[code]
+                        for code in ERROR_CODES},
+        "error_shape": {"error": ["code", "message", "details?"]},
+        "job_view_keys": list(JOB_VIEW_KEYS),
+        "routes": list(ROUTES),
+    }

@@ -24,19 +24,25 @@ def _tasks():
 
 class TestWorkerMerge:
     def test_pool_workers_ship_spans_back(self):
+        # NOTE: deliberately does NOT assert how tasks spread over the
+        # pool — with 2 workers on a single-CPU host one worker may run
+        # all 4 tasks (pre-PR-7 flake).  The merged-span *content* is
+        # what the executor guarantees: every task's spans come back,
+        # stamped with a worker (non-parent) pid, correctly nested.
         tel = Telemetry()
         results = execute(_tasks(), jobs=2, telemetry=tel)
         assert len(results) == 4
         spans = tel.spans.spans
         assert validate_span_tree(spans) == []
-        # worker spans landed under the parent's run id on foreign pids
+        # pool-path spans are recorded worker-side only: every pid is a
+        # foreign (worker) pid, never the parent's
         pids = {s.pid for s in spans}
-        assert len(pids) >= 2
-        assert os.getpid() not in pids or len(pids - {os.getpid()}) >= 1
-        # each task wrapped in a task span, with the instrumented
-        # simulator run nested inside it
+        assert pids and os.getpid() not in pids
+        # each task wrapped in a task span (all four keys present), with
+        # the instrumented simulator run nested inside it
         task_spans = [s for s in spans if s.category == "task"]
-        assert len(task_spans) == 4
+        assert sorted(s.name for s in task_spans) == [
+            "task:t3", "task:t4", "task:t5", "task:t6"]
         run_spans = [s for s in spans if s.category == "run"]
         assert len(run_spans) == 4
         by_key = {(s.pid, s.id): s for s in spans}

@@ -1,0 +1,204 @@
+"""Concurrency suite: parallel clients must see serial-identical bytes.
+
+The daemon's one correctness contract under load: N threads hammering
+the HTTP API with mixed run/verify jobs at mixed priorities get results
+**byte-identical** to running the same work serially through
+``Amst(cfg).run(g)`` — same forest edge ids, same ``repr`` of the exact
+weight, same cycle counts, same digest — whether a result was computed
+or served warm from the RunCache.
+"""
+
+import threading
+
+import pytest
+
+from repro.verify import run_oracle
+
+from .conftest import (
+    assert_run_matches_serial,
+    edge_payload,
+    graph_of,
+    job_config,
+    serial_run,
+)
+
+pytestmark = pytest.mark.serve
+
+PARAMS_A = {"parallelism": 4, "cache_vertices": 512}
+PARAMS_B = {"parallelism": 8, "cache_vertices": 256}
+
+
+def _submit_all(client, specs, fp, timeout_s=180.0):
+    """Submit every spec from its own thread; return results in order."""
+    results: list = [None] * len(specs)
+    errors: list = []
+
+    def one(i, spec):
+        kind, who, prio, params = spec
+        try:
+            results[i] = client.run_to_completion(
+                kind=kind, graph=fp, client=who, priority=prio,
+                params=params, timeout_s=timeout_s)
+        except Exception as exc:  # noqa: BLE001 - collected for assert
+            errors.append((i, repr(exc)))
+
+    threads = [threading.Thread(target=one, args=(i, s))
+               for i, s in enumerate(specs)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout_s)
+    assert errors == []
+    assert all(r is not None for r in results)
+    return results
+
+
+class TestParallelEqualsSerial:
+    def test_mixed_jobs_from_two_clients(self, make_daemon, client_for):
+        daemon = make_daemon(workers=3, per_client_limit=2)
+        client = client_for(daemon, timeout=180.0)
+        payload = edge_payload(seed=11)
+        fp = client.publish(edges=payload, name="conc")["fingerprint"]
+        graph = graph_of(payload)
+
+        # 8 jobs, 2 clients, 2 configs, priorities spread over 0..5
+        specs = [
+            ("run", "alice", 0, PARAMS_A),
+            ("run", "bob", 3, PARAMS_A),
+            ("run", "alice", 5, PARAMS_A),
+            ("run", "bob", 1, PARAMS_B),
+            ("run", "alice", 2, PARAMS_B),
+            ("run", "bob", 4, PARAMS_B),
+            ("verify", "alice", 5, {}),
+            ("verify", "bob", 0, {}),
+        ]
+        results = _submit_all(client, specs, fp)
+
+        expected_a = serial_run(graph, PARAMS_A)
+        expected_b = serial_run(graph, PARAMS_B)
+        for i in range(3):
+            assert_run_matches_serial(results[i], expected_a)
+        for i in range(3, 6):
+            assert_run_matches_serial(results[i], expected_b)
+
+        # verify jobs agree with a serial oracle run, and each other
+        oracle = run_oracle(graph, certify=True)
+        assert oracle.ok
+        for body in results[6:]:
+            v = body["result"]
+            assert v["ok"] is True
+            assert v["mismatches"] == []
+            assert v["num_edges"] == oracle.num_edges
+            assert sorted(v["entries"]) == sorted(oracle.entries)
+        assert results[6]["result"] == results[7]["result"]
+
+        # per-client running concurrency never exceeded the limit
+        for who, peak in daemon.queue.max_observed_running.items():
+            assert peak <= 2, (who, peak)
+
+    def test_cache_warm_repeats_stay_identical(self, make_daemon,
+                                               client_for):
+        daemon = make_daemon(workers=2)
+        client = client_for(daemon, timeout=180.0)
+        payload = edge_payload(seed=23)
+        fp = client.publish(edges=payload)["fingerprint"]
+        expected = serial_run(graph_of(payload), PARAMS_A)
+
+        cold = client.run_to_completion(kind="run", graph=fp,
+                                        params=PARAMS_A, timeout_s=120.0)
+        assert cold["cache_hit"] is False
+        assert_run_matches_serial(cold, expected)
+
+        # 4 warm repeats, concurrently, two clients
+        specs = [("run", "alice", 0, PARAMS_A),
+                 ("run", "bob", 2, PARAMS_A),
+                 ("run", "alice", 1, PARAMS_A),
+                 ("run", "bob", 0, PARAMS_A)]
+        for body in _submit_all(client, specs, fp):
+            assert body["cache_hit"] is True
+            assert_run_matches_serial(body, expected)
+            assert body["result"] == cold["result"]
+
+        hits = daemon.metrics.counters.get("serve.jobs.cache_hits", 0)
+        assert hits >= 4
+        assert daemon.cache.stats()["hits"] >= 4
+
+
+class TestScheduling:
+    def test_priority_order_on_single_worker(self, make_daemon,
+                                             client_for):
+        # one worker, occupied by a sleeper: everything else queues, and
+        # the queue must start the backlog highest-priority-first
+        daemon = make_daemon(workers=1, allow_fault_injection=True)
+        client = client_for(daemon, timeout=60.0)
+        fp = client.publish(edges=edge_payload(seed=5))["fingerprint"]
+        sleeper = client.submit(kind="run", graph=fp, client="hog",
+                                params={"sleep_s": 0.4, **PARAMS_A})
+        low = client.submit(kind="run", graph=fp, client="lo",
+                            priority=0, params=PARAMS_A)
+        high = client.submit(kind="run", graph=fp, client="hi",
+                             priority=9, params=PARAMS_A)
+        for job in (sleeper, low, high):
+            view = client.wait(job["id"], timeout_s=120.0)
+            assert view["state"] == "done"
+        t_low = client.status(low["id"])["started_at"]
+        t_high = client.status(high["id"])["started_at"]
+        assert t_high <= t_low
+
+    def test_per_client_limit_leaves_room_for_others(self, make_daemon,
+                                                     client_for):
+        # 3 workers, limit 1: a client with 3 queued sleepers can hold
+        # at most one worker, so another client's job is never starved
+        daemon = make_daemon(workers=3, per_client_limit=1,
+                             allow_fault_injection=True)
+        client = client_for(daemon, timeout=60.0)
+        fp = client.publish(edges=edge_payload(seed=7))["fingerprint"]
+        hogs = [client.submit(kind="run", graph=fp, client="hog",
+                              params={"sleep_s": 0.3, **PARAMS_A})
+                for _ in range(3)]
+        other = client.run_to_completion(
+            kind="run", graph=fp, client="other", params=PARAMS_A,
+            timeout_s=120.0)
+        assert other["result"]["forest"]["num_components"] >= 1
+        for job in hogs:
+            assert client.wait(job["id"],
+                               timeout_s=120.0)["state"] == "done"
+        assert daemon.queue.max_observed_running.get("hog", 0) <= 1
+
+    def test_queue_depth_limit_fails_fast(self, make_daemon, client_for):
+        from repro.serve import ServeClientError
+
+        daemon = make_daemon(workers=1, max_depth=3,
+                             allow_fault_injection=True)
+        client = client_for(daemon)
+        fp = client.publish(edges=edge_payload(seed=9))["fingerprint"]
+        for _ in range(3):
+            client.submit(kind="run", graph=fp,
+                          params={"sleep_s": 0.3, **PARAMS_A})
+        with pytest.raises(ServeClientError) as info:
+            client.submit(kind="run", graph=fp, params=PARAMS_A)
+        assert info.value.code == "queue_full"
+        assert info.value.status == 429
+        # the backlog still drains normally after the rejection
+        for job in client.jobs():
+            assert client.wait(job["id"],
+                               timeout_s=120.0)["state"] == "done"
+
+
+class TestConfigFingerprint:
+    def test_distinct_params_get_distinct_cache_keys(self, make_daemon,
+                                                     client_for):
+        daemon = make_daemon(workers=2)
+        client = client_for(daemon, timeout=180.0)
+        payload = edge_payload(seed=31)
+        fp = client.publish(edges=payload)["fingerprint"]
+        a = client.run_to_completion(kind="run", graph=fp,
+                                     params=PARAMS_A, timeout_s=120.0)
+        b = client.run_to_completion(kind="run", graph=fp,
+                                     params=PARAMS_B, timeout_s=120.0)
+        assert a["cache_hit"] is False and b["cache_hit"] is False
+        assert (a["result"]["config_fingerprint"]
+                != b["result"]["config_fingerprint"])
+        from repro.bench.runcache import config_fingerprint
+        assert a["result"]["config_fingerprint"] == config_fingerprint(
+            job_config(PARAMS_A))

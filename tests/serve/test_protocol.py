@@ -1,0 +1,142 @@
+"""Golden suite pinning the serve wire format.
+
+The committed ``tests/golden/serve_protocol.json`` snapshot is the
+contract: status codes, error shapes, the job-state machine and the
+route table.  Any drift here is a breaking wire change and must be
+re-blessed deliberately (edit the JSON in the same commit as the code),
+exactly like the simulator's golden traces.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_CODES,
+    JOB_STATES,
+    STATUS_FOR_CODE,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    ServeError,
+    assert_transition,
+    describe,
+    error_body,
+    parse_job_request,
+)
+
+GOLDEN = Path(__file__).parent.parent / "golden" / "serve_protocol.json"
+
+
+class TestGoldenPin:
+    def test_describe_matches_committed_snapshot(self):
+        with open(GOLDEN, encoding="utf-8") as fh:
+            blessed = json.load(fh)
+        assert describe() == blessed, (
+            "serve wire format drifted from tests/golden/"
+            "serve_protocol.json — if intentional, re-bless the "
+            "snapshot in the same commit"
+        )
+
+    def test_describe_is_json_stable(self):
+        # byte-stable serialization, the golden-trace regime
+        a = json.dumps(describe(), indent=2, sort_keys=True)
+        b = json.dumps(describe(), indent=2, sort_keys=True)
+        assert a == b
+
+
+class TestStateMachine:
+    def test_states_partition_into_live_and_terminal(self):
+        assert set(TERMINAL_STATES) < set(JOB_STATES)
+        live = set(JOB_STATES) - set(TERMINAL_STATES)
+        assert live == {"queued", "running"}
+
+    def test_terminal_states_have_no_exits(self):
+        for state in TERMINAL_STATES:
+            assert TRANSITIONS[state] == ()
+
+    def test_every_transition_target_is_a_state(self):
+        for old, targets in TRANSITIONS.items():
+            assert old in JOB_STATES
+            for new in targets:
+                assert new in JOB_STATES
+
+    def test_assert_transition_accepts_legal_moves(self):
+        assert_transition("queued", "running")
+        assert_transition("running", "done")
+        assert_transition("running", "failed")
+        assert_transition("queued", "cancelled")
+
+    @pytest.mark.parametrize("old,new", [
+        ("done", "running"), ("failed", "queued"),
+        ("running", "queued"), ("running", "cancelled"),
+        ("cancelled", "done"), ("queued", "done"),
+    ])
+    def test_assert_transition_rejects_illegal_moves(self, old, new):
+        with pytest.raises(RuntimeError, match="illegal job transition"):
+            assert_transition(old, new)
+
+
+class TestErrorShapes:
+    def test_every_code_has_a_valid_http_status(self):
+        for code in ERROR_CODES:
+            assert 400 <= STATUS_FOR_CODE[code] < 600
+
+    def test_error_body_shape(self):
+        body = error_body("bad_request", "nope", {"field": "kind"})
+        assert body == {"error": {"code": "bad_request",
+                                  "message": "nope",
+                                  "details": {"field": "kind"}}}
+        # details omitted when empty (pinned shape: no null keys)
+        assert error_body("internal", "boom") == {
+            "error": {"code": "internal", "message": "boom"}}
+
+    def test_serve_error_round_trips(self):
+        exc = ServeError("queue_full", "full", {"depth": 64})
+        assert exc.status == 429
+        assert exc.body()["error"]["code"] == "queue_full"
+
+    def test_unknown_code_is_a_programming_error(self):
+        with pytest.raises(ValueError):
+            ServeError("no_such_code", "x")
+
+
+class TestJobRequestValidation:
+    def _ok(self):
+        return {"kind": "run", "graph": "abc123", "client": "c1",
+                "priority": 3, "params": {"parallelism": 4}}
+
+    def test_valid_request_normalizes(self):
+        req = parse_job_request(self._ok())
+        assert req == {"kind": "run", "client": "c1", "priority": 3,
+                       "graph": "abc123",
+                       "params": {"parallelism": 4}}
+
+    def test_defaults_applied(self):
+        req = parse_job_request({"kind": "verify", "graph": "abc"})
+        assert req["client"] == "anonymous"
+        assert req["priority"] == 0
+        assert req["params"] == {}
+
+    @pytest.mark.parametrize("mutate,field", [
+        (lambda b: b.pop("kind"), "kind"),
+        (lambda b: b.update(kind="explode"), "kind"),
+        (lambda b: b.pop("graph"), "graph"),
+        (lambda b: b.update(graph=""), "graph"),
+        (lambda b: b.update(client=""), "client"),
+        (lambda b: b.update(priority="high"), "priority"),
+        (lambda b: b.update(priority=True), "priority"),
+        (lambda b: b.update(params=[1, 2]), "params"),
+    ])
+    def test_field_level_rejections(self, mutate, field):
+        body = self._ok()
+        mutate(body)
+        with pytest.raises(ServeError) as info:
+            parse_job_request(body)
+        assert info.value.code == "bad_request"
+        assert info.value.details.get("field") == field
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ServeError) as info:
+            parse_job_request([1, 2, 3])
+        assert info.value.code == "bad_request"
