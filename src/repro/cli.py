@@ -43,6 +43,7 @@ from .core import (
     save_trace_csv,
     save_trace_json,
 )
+from .fabric import list_net_profiles, list_partitioners
 
 
 @contextmanager
@@ -322,25 +323,40 @@ def _cmd_scaleout_body(args: argparse.Namespace, tel) -> int:
             config_fingerprint=config_fingerprint(cfg),
         )
     r = run_scale_out(g, args.cards, cfg, strategy=args.strategy,
-                      jobs=args.jobs)
+                      partitioner=args.partitioner,
+                      net_profile=args.net_profile, jobs=args.jobs)
     rep = r.report
     if tel is not None:
         tel.record_output(rep.merge_output)
         tel.summary = {
             "dataset": args.dataset,
             "cards": rep.num_cards,
+            "partitioner": rep.partitioner,
+            "net_profile": rep.net_profile,
             "cut_edges": rep.cut_edges,
+            "rounds": rep.num_rounds,
+            "messages": rep.messages,
+            "message_bytes": rep.message_bytes,
             "forest_edges": int(r.result.num_edges),
             "total_weight": float(r.result.total_weight),
         }
     print(f"dataset      : {args.dataset} "
           f"(n={g.num_vertices:,}, m={g.num_edges:,})")
-    print(f"cards        : {rep.num_cards} ({args.strategy} partition, "
+    print(f"cards        : {rep.num_cards} ({rep.partitioner} partition, "
           f"jobs={args.jobs})")
     print(f"forest       : {r.result.num_edges:,} edges, "
           f"weight {r.result.total_weight:,.0f}, "
           f"{r.result.num_components} component(s)")
-    print(f"cut edges    : {rep.cut_edges:,}")
+    print(f"cut edges    : {rep.cut_edges:,} "
+          f"({100 * rep.partition_stats.get('cut_fraction', 0.0):.1f}% "
+          f"of edges)" if rep.partition_stats else
+          f"cut edges    : {rep.cut_edges:,}")
+    print(f"fabric       : {rep.num_rounds} round(s), "
+          f"{rep.messages:,} message(s), {rep.message_bytes:,} bytes, "
+          f"{rep.boundary_edges:,} boundary record(s)")
+    print(f"network      : {rep.net_profile} — scatter "
+          f"{rep.scatter_seconds * 1e3:.3f} ms, reduce "
+          f"{rep.exchange_seconds * 1e3:.3f} ms")
     print(f"modelled time: local {rep.local_seconds * 1e3:.3f} ms + "
           f"exchange {rep.exchange_seconds * 1e3:.3f} ms + "
           f"merge {rep.merge_seconds * 1e3:.3f} ms = "
@@ -596,8 +612,17 @@ def build_parser() -> argparse.ArgumentParser:
     po.add_argument("--dataset", default="CF",
                     help="Table I tag (EF/GD/CD/CL/RC/RP/RT/UR/CF/UU)")
     po.add_argument("--cards", type=int, default=4)
-    po.add_argument("--strategy", default="block",
-                    choices=["block", "hash"])
+    po.add_argument("--partitioner", default=None,
+                    choices=list(list_partitioners()),
+                    help="fabric partitioner (default: range; "
+                         "docs/SCALE_OUT.md)")
+    po.add_argument("--strategy", default=None,
+                    choices=["block", "hash"],
+                    help="legacy alias for --partitioner range/hash")
+    po.add_argument("--net-profile", default="pcie3",
+                    choices=list(list_net_profiles()),
+                    help="inter-card network model for the modelled "
+                         "communication time")
     po.add_argument("--parallelism", type=int, default=16)
     po.add_argument("--cache-vertices", type=int, default=None)
     po.add_argument("--scale", type=float, default=1.0)

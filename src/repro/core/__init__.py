@@ -16,6 +16,7 @@ from .scale_out import (
     ScaleOutResult,
     partition_vertices,
     run_scale_out,
+    validate_num_cards,
 )
 from .sorting_network import (
     SortingNetwork,
@@ -67,4 +68,5 @@ __all__ = [
     "ScaleOutResult",
     "ScaleOutReport",
     "partition_vertices",
+    "validate_num_cards",
 ]

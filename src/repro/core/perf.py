@@ -189,6 +189,26 @@ class PerfReport:
     def power_watts(self) -> float:
         return fpga_power_watts(self.cfg.parallelism)
 
+    def attach_network(self, network: dict) -> None:
+        """Record modelled inter-card communication cost on this report.
+
+        ``network`` is a :meth:`repro.fabric.netmodel.NetworkCostReport.
+        to_dict` payload (plus traffic/partition annotations); the fabric
+        attaches it to the merge run so scale-out reports surface
+        communication cost next to compute cycles.
+        """
+        self.extra["network"] = dict(network)
+
+    @property
+    def network_seconds(self) -> float:
+        """Modelled inter-card transfer time (0.0 for single-card runs)."""
+        return float(self.extra.get("network", {}).get(
+            "total_seconds", 0.0))
+
+    @property
+    def seconds_with_network(self) -> float:
+        return self.seconds + self.network_seconds
+
     @property
     def energy_joules(self) -> float:
         return self.seconds * self.power_watts

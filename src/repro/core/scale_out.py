@@ -1,45 +1,45 @@
-"""Multi-FPGA scale-out: partitioned MST across several accelerator cards.
+"""Multi-card scale-out: the compatibility front-end over ``repro.fabric``.
 
 The paper's motivation is graphs that outgrow one card (UK-Union's 9.4B
-edges exceed the U280's 8 GB HBM).  The standard remedy — and the natural
-extension of AMST — is the two-phase partitioned Borůvka:
+edges exceed the U280's 8 GB HBM).  The remedy is the two-phase
+partitioned Borůvka: shard the edges across cards, run AMST per shard,
+then merge the local minimum spanning forests (MST composability keeps
+the result exact; tests pin it against Kruskal).
 
-1. **Local phase** — vertices are partitioned across ``num_cards`` cards;
-   each card runs AMST over the edges internal to its partition and emits
-   its local minimum spanning forest.
-2. **Merge phase** — by the MST composability theorem (an MST of a graph
-   union is contained in the union of the parts' MSFs plus all cut
-   edges), one card runs AMST again over local-MSF ∪ cut edges to produce
-   the global forest.
+The actual execution lives in :mod:`repro.fabric` — per-card worker
+processes over shm-published shards, typed inter-card messages in
+synchronization rounds, pluggable partitioners, and an explicit network
+model.  This module keeps the historical ``run_scale_out`` surface:
 
-Both phases run through the same simulator, so the result stays
-result-exact (validated against Kruskal in tests) and the report models
-phase-1 parallelism across cards, the PCIe/host exchange of cut edges,
-and the merge run.
+* ``strategy="block"/"hash"`` still work (legacy aliases for the
+  ``"range"``/``"hash"`` partitioners); new callers pass
+  ``partitioner=`` / ``net_profile=`` directly.
+* :class:`ScaleOutReport` keeps its original fields and adds the
+  fabric's message/round/network figures with defaults, so recorded
+  manifests and the benchmark-trajectory scripts keep reading it.
+* ``partition_vertices`` / ``_partition_edges`` re-export from
+  :mod:`repro.fabric.partition` for the PR-4 benchmark scripts.
 
-Host-side execution mirrors the modelled parallelism: the per-card local
-runs are independent, so ``run_scale_out(..., jobs=N)`` fans them across
-a process pool.  The canonical edge list and the card-sorted edge-id
-array are published once through the shared-memory store
-(:mod:`repro.graph.shm`); each worker receives only a lightweight handle
-plus its ``(start, stop)`` slice bounds — zero per-card array pickling —
-and materializes its card's subgraph from read-only views.  Partitioning
-itself is one vectorized pass: instead of ``num_cards`` boolean sweeps
-over the edge list, the internal edges are card-sorted once and every
-card's edge set is a contiguous slice (see :func:`_partition_edges`).
-Results are byte-identical to serial execution; only
-``host_phase1_seconds`` (wall clock) varies.
+``exchange_seconds`` is now the *modelled reduce-phase network time*
+under the chosen profile (rounds of forest/boundary/merge messages)
+instead of the flat one-shot PCIe estimate; ``scatter_seconds`` charges
+the host→card shard distribution separately.
 """
 
 from __future__ import annotations
 
 import time
-from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-import numpy as np
-
-from ..graph.builders import from_arrays
+from ..fabric.messages import EDGE_RECORD_BYTES as _EDGE_RECORD_BYTES  # noqa: F401
+from ..fabric.netmodel import NET_PROFILES
+from ..fabric.partition import (  # noqa: F401  (re-exported for back-compat)
+    _partition_edges,
+    partition_vertices,
+    validate_num_cards,
+)
+from ..fabric.worker import card_task as _fabric_card_task
+from ..fabric.worker import edge_subgraph as _edge_subgraph  # noqa: F401
 from ..graph.csr import CSRGraph
 from ..mst.result import MSTResult
 from ..obs.context import current_telemetry
@@ -47,102 +47,19 @@ from .accelerator import Amst, AmstOutput
 from .config import AmstConfig
 
 __all__ = ["ScaleOutReport", "ScaleOutResult", "run_scale_out",
-           "partition_vertices"]
+           "partition_vertices", "validate_num_cards"]
 
-# host-side exchange model: cut-edge records cross PCIe 3 x16 per card
-_PCIE_BYTES_PER_S = 12e9
-_EDGE_RECORD_BYTES = 12  # (u, v, weight) packed
+# historical constant, kept for the benchmark-trajectory scripts; the
+# live number now comes from the selected NetProfile
+_PCIE_BYTES_PER_S = NET_PROFILES["pcie3"].bandwidth_bytes_per_s
 
-
-def partition_vertices(
-    num_vertices: int, num_cards: int, *, strategy: str = "block"
-) -> np.ndarray:
-    """Card id per vertex.
-
-    ``"block"`` keeps id ranges contiguous (preserves the degree-sorted
-    HDV prefix per card); ``"hash"`` scatters ids (better edge balance on
-    skewed graphs, worse cache locality).
-
-    When ``num_cards > num_vertices`` the partition is computed over the
-    clamped card count ``min(num_cards, num_vertices)`` — each vertex
-    gets its own card and the trailing cards own no vertices (their
-    phase-1 runs see empty subgraphs).  Returned ids always satisfy
-    ``0 <= id < num_cards``.
-    """
-    if num_cards < 1:
-        raise ValueError("num_cards must be >= 1")
-    ids = np.arange(num_vertices, dtype=np.int64)
-    # Clamp: more cards than vertices degenerates to one vertex per
-    # card; without the clamp "block" would compute per == 1 anyway but
-    # the intent (trailing cards stay empty, ids stay in range) is now
-    # explicit and documented rather than incidental.
-    effective = min(num_cards, max(num_vertices, 1))
-    if strategy == "block":
-        per = -(-num_vertices // effective)
-        return np.minimum(ids // max(per, 1), num_cards - 1)
-    if strategy == "hash":
-        return ids % effective
-    raise ValueError(f"unknown partition strategy {strategy!r}")
+#: legacy ``strategy=`` values -> fabric partitioner names
+_STRATEGY_ALIASES = {"block": "range", "hash": "hash"}
 
 
-def _partition_edges(
-    edge_card: np.ndarray, internal: np.ndarray, num_cards: int
-) -> tuple[np.ndarray, np.ndarray]:
-    """Materialize every card's internal edge set in one scan.
-
-    Returns ``(sorted_eids, bounds)``: the internal undirected edge ids
-    sorted by owning card (ascending within each card — the stable sort
-    preserves the id order ``np.flatnonzero`` would produce), and the
-    ``int64[num_cards + 1]`` slice bounds such that card ``c`` owns
-    ``sorted_eids[bounds[c]:bounds[c + 1]]``.  Replaces ``num_cards``
-    separate ``internal & (edge_card == card)`` boolean sweeps with a
-    single sort + bincount pass.
-    """
-    internal_eids = np.flatnonzero(internal)
-    cards = edge_card[internal_eids]
-    order = np.argsort(cards, kind="stable")
-    sorted_eids = internal_eids[order]
-    counts = np.bincount(cards, minlength=num_cards)
-    bounds = np.zeros(num_cards + 1, dtype=np.int64)
-    np.cumsum(counts[:num_cards], out=bounds[1:])
-    return sorted_eids, bounds
-
-
-def _edge_subgraph(
-    num_vertices: int,
-    u: np.ndarray,
-    v: np.ndarray,
-    w: np.ndarray,
-    keep: np.ndarray,
-) -> CSRGraph:
-    """Subgraph over the selected undirected edge ids.
-
-    ``u/v/w`` are the graph's canonical endpoint arrays (computed once
-    by the caller); vertex ids are preserved (isolated vertices are fine
-    for the simulator) and the subgraph's edge id ``e`` maps back to
-    ``keep[e]`` in the input graph.
-    """
-    keep = np.asarray(keep, dtype=np.int64)
-    return from_arrays(num_vertices, u[keep], v[keep], w[keep])
-
-
-def _local_card_task(
-    bundle, start: int, stop: int, num_vertices: int, cfg: AmstConfig
-) -> tuple:
-    """Worker body for one card's phase-1 run.
-
-    ``bundle`` resolves to ``(u, v, w, sorted_eids)`` — shared-memory
-    views on the zero-copy path, plain arrays on the fallback path; the
-    card's edge-id set is the ``[start, stop)`` slice of the card-sorted
-    id array.
-    """
-    from ..graph.shm import resolve_arrays
-
-    u, v, w, sorted_eids = resolve_arrays(bundle)
-    keep = sorted_eids[start:stop]
-    sub = _edge_subgraph(num_vertices, u, v, w, keep)
-    out = Amst(cfg).run(sub)
-    return ((out, keep[out.result.edge_ids]),)
+def _local_card_task(bundle, start, stop, num_vertices, cfg):
+    """Pre-fabric worker entry point (kept for external callers)."""
+    return _fabric_card_task(bundle, start, stop, num_vertices, cfg)
 
 
 @dataclass(frozen=True)
@@ -151,13 +68,23 @@ class ScaleOutReport:
 
     num_cards: int
     local_seconds: float  # max over cards (they run in parallel)
-    exchange_seconds: float  # cut + local-MSF records over PCIe
+    exchange_seconds: float  # modelled reduce-phase network time
     merge_seconds: float
     cut_edges: int
     local_outputs: tuple  # per-card AmstOutput
     merge_output: AmstOutput
     host_phase1_seconds: float = 0.0  # host wall clock of phase 1 (not
     #                                   modelled time; varies run-to-run)
+    # -- fabric figures (defaults keep pre-fabric constructors working) --
+    partitioner: str = "range"
+    net_profile: str = "pcie3"
+    num_rounds: int = 0  # scatter + reduce synchronization rounds
+    messages: int = 0
+    message_bytes: int = 0
+    boundary_edges: int = 0  # forest records straddling an ownership cut
+    scatter_seconds: float = 0.0  # modelled host->card shard distribution
+    network: dict = field(default_factory=dict)  # NetworkCostReport.to_dict()
+    partition_stats: dict = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -175,78 +102,34 @@ class ScaleOutResult:
     report: ScaleOutReport
 
 
-def _run_local_phase(
-    u: np.ndarray,
-    v: np.ndarray,
-    w: np.ndarray,
-    sorted_eids: np.ndarray,
-    bounds: np.ndarray,
-    num_vertices: int,
-    num_cards: int,
-    cfg: AmstConfig,
-    jobs: int,
-) -> tuple[list[AmstOutput], list[np.ndarray]]:
-    """Phase 1: one simulator run per card, optionally in parallel."""
-    if jobs > 1 and num_cards > 1:
-        from ..bench.executor import TaskSpec, execute
-        from ..graph.shm import GraphStore
-
-        with GraphStore() as store:
-            bundle = store.publish(u, v, w, sorted_eids)
-            tasks = [
-                TaskSpec(
-                    key=f"scaleout.card{card}", fn=_local_card_task,
-                    kwargs={
-                        "bundle": bundle,
-                        "start": int(bounds[card]),
-                        "stop": int(bounds[card + 1]),
-                        "num_vertices": num_vertices,
-                        "cfg": cfg,
-                    },
-                )
-                for card in range(num_cards)
-            ]
-            groups = execute(tasks, jobs=jobs)
-        pairs = [g[0] for g in groups]
-    else:
-        pairs = [
-            _local_card_task(
-                (u, v, w, sorted_eids), int(bounds[card]),
-                int(bounds[card + 1]), num_vertices, cfg,
-            )[0]
-            for card in range(num_cards)
-        ]
-    local_outputs = [out for out, _ in pairs]
-    msf_eids = [eids for _, eids in pairs]
-    return local_outputs, msf_eids
-
-
 def run_scale_out(
     graph: CSRGraph,
     num_cards: int,
     config: AmstConfig | None = None,
     *,
-    strategy: str = "block",
+    strategy: str | None = None,
+    partitioner: str | None = None,
+    net_profile: str = "pcie3",
     jobs: int = 1,
 ) -> ScaleOutResult:
     """Compute the minimum spanning forest across ``num_cards`` cards.
 
-    ``jobs > 1`` fans the independent per-card phase-1 runs across a
-    process pool (zero-copy via the shared-memory store); the forest,
-    the modelled report and every event count are byte-identical to the
-    serial run — only ``report.host_phase1_seconds`` (real wall clock)
-    differs.
+    ``partitioner`` selects a registered strategy (``range``, ``hash``,
+    ``edge-cut``, ``grid2d``); the legacy ``strategy="block"/"hash"``
+    spelling maps onto ``range``/``hash``.  ``jobs > 1`` fans the
+    per-card runs across worker processes; the forest, the modelled
+    report and every event count are byte-identical to the serial run —
+    only ``report.host_phase1_seconds`` (real wall clock) differs.
     """
     cfg = config if config is not None else AmstConfig.full()
+    num_cards = validate_num_cards(num_cards)
+    if partitioner is None:
+        partitioner = (_STRATEGY_ALIASES.get(strategy, strategy)
+                       if strategy is not None else "range")
+    elif strategy is not None:
+        raise ValueError(
+            "pass either the legacy strategy= or partitioner=, not both")
     tel = current_telemetry()
-
-    # Phase scopes: spans under the active telemetry session (category
-    # "phase"), no-ops without one.  Observation only — the partitioned
-    # computation is identical either way.
-    def phase(name):
-        if tel is not None:
-            return tel.spans.span(name, category="phase")
-        return nullcontext()
 
     if num_cards == 1:
         t0 = time.perf_counter()
@@ -260,71 +143,45 @@ def run_scale_out(
             local_outputs=(out,),
             merge_output=out,
             host_phase1_seconds=time.perf_counter() - t0,
+            partitioner=partitioner,
+            net_profile=net_profile,
         )
         if tel is not None:
             tel.metrics.set_gauge("scaleout.cards", 1)
             tel.metrics.set_gauge("scaleout.cut_edges", 0)
         return ScaleOutResult(result=out.result, report=report)
 
-    with phase("scaleout.partition"):
-        part = partition_vertices(graph.num_vertices, num_cards,
-                                  strategy=strategy)
-        # The canonical endpoint arrays are computed exactly once and
-        # reused for partitioning, per-card subgraph extraction, the
-        # merge run and the final weight summation.
-        u, v, w = graph.edge_endpoints()
-        edge_card = part[u]
-        internal = edge_card == part[v]
-        sorted_eids, bounds = _partition_edges(
-            edge_card, internal, num_cards)
+    from ..fabric.fabric import run_fabric
 
-    # ---- phase 1: local MSFs, one simulator run per card ----
-    t0 = time.perf_counter()
-    with phase("scaleout.local"):
-        local_outputs, msf_eids = _run_local_phase(
-            u, v, w, sorted_eids, bounds, graph.num_vertices, num_cards,
-            cfg, jobs,
-        )
-    host_phase1 = time.perf_counter() - t0
-
-    # ---- exchange: every cut edge plus each card's MSF goes to card 0
-    cut_eids = np.flatnonzero(~internal)
-    merge_eids = np.unique(np.concatenate(msf_eids + [cut_eids]))
-    moved_records = int(cut_eids.size
-                        + sum(e.size for e in msf_eids[1:]))
-    exchange_seconds = (
-        moved_records * _EDGE_RECORD_BYTES
-        / (_PCIE_BYTES_PER_S * max(num_cards - 1, 1))
+    run = run_fabric(
+        graph, num_cards, cfg,
+        partitioner=partitioner, net_profile=net_profile, jobs=jobs,
     )
-
-    # ---- phase 2: merge run over the composable edge set ----
-    with phase("scaleout.merge"):
-        merge_graph = _edge_subgraph(
-            graph.num_vertices, u, v, w, merge_eids)
-        merge_out = Amst(cfg).run(merge_graph)
-    final_eids = merge_eids[merge_out.result.edge_ids]
 
     if tel is not None:
         tel.metrics.set_gauge("scaleout.cards", num_cards)
-        tel.metrics.set_gauge("scaleout.cut_edges", int(cut_eids.size))
+        tel.metrics.set_gauge("scaleout.cut_edges",
+                              run.plan.stats.cut_edges)
         tel.metrics.set_gauge("scaleout.merge_edges",
-                              int(merge_eids.size))
+                              run.merge_output.report.num_edges)
 
-    result = MSTResult(
-        edge_ids=final_eids,
-        total_weight=float(w[final_eids].sum()),
-        num_components=graph.num_vertices - final_eids.size,
-        iterations=merge_out.result.iterations,
-        extras={"num_cards": num_cards},
-    )
     report = ScaleOutReport(
         num_cards=num_cards,
-        local_seconds=max(o.report.seconds for o in local_outputs),
-        exchange_seconds=exchange_seconds,
-        merge_seconds=merge_out.report.seconds,
-        cut_edges=int(cut_eids.size),
-        local_outputs=tuple(local_outputs),
-        merge_output=merge_out,
-        host_phase1_seconds=host_phase1,
+        local_seconds=run.local_seconds,
+        exchange_seconds=run.network.reduce_seconds,
+        merge_seconds=run.merge_seconds,
+        cut_edges=run.plan.stats.cut_edges,
+        local_outputs=run.local_outputs,
+        merge_output=run.merge_output,
+        host_phase1_seconds=run.host_phase1_seconds,
+        partitioner=run.plan.name,
+        net_profile=run.profile.name,
+        num_rounds=len(run.rounds),
+        messages=run.network.total_messages,
+        message_bytes=run.network.total_bytes,
+        boundary_edges=run.boundary_edges,
+        scatter_seconds=run.network.scatter_seconds,
+        network=run.network.to_dict(),
+        partition_stats=run.plan.stats.to_dict(),
     )
-    return ScaleOutResult(result=result, report=report)
+    return ScaleOutResult(result=run.result, report=report)

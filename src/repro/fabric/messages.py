@@ -1,0 +1,139 @@
+"""Typed inter-card messages and synchronization rounds.
+
+The fabric models multi-card execution the way GraVF-M structures
+multi-FPGA graph processing: computation proceeds in *synchronization
+rounds*, and all inter-card traffic inside a round is explicit, typed
+and sized.  Four message kinds exist:
+
+``ShardScatter``
+    Host → card: the card's edge shard (one record per owned edge).
+``ForestShard``
+    Card → card during the merge reduction: the sender's surviving
+    minimum-spanning-forest edges whose endpoints it owns.
+``BoundaryEdges``
+    Card → card alongside a ``ForestShard``: the surviving forest edges
+    that straddle a vertex-ownership boundary — the traffic cut-quality
+    sweeps try to minimize.
+``ComponentMerges``
+    Receiver → sender acknowledgement: one record per sender-side
+    component absorbed during the merge, so the sender could relabel
+    its vertices (the "component merge" notifications of a distributed
+    Borůvka).
+
+Every message carries a fixed header plus ``records * RECORD_BYTES``
+payload; :class:`SyncRound` groups the messages of one round so the
+network model (:mod:`repro.fabric.netmodel`) can charge per-round
+latency and per-link serialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "BoundaryEdges",
+    "ComponentMerges",
+    "EDGE_RECORD_BYTES",
+    "ForestShard",
+    "HEADER_BYTES",
+    "MERGE_RECORD_BYTES",
+    "Message",
+    "ShardScatter",
+    "SyncRound",
+    "traffic_summary",
+]
+
+#: packed (u, v, weight) edge record — matches the paper's 4-byte
+#: weights plus two compressed vertex ids
+EDGE_RECORD_BYTES = 12
+#: packed (absorbed_root, surviving_root) pair
+MERGE_RECORD_BYTES = 8
+#: per-message envelope (routing header + length + CRC)
+HEADER_BYTES = 32
+
+#: the host/coordinator endpoint id in ``src``/``dst``
+HOST = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """One typed point-to-point transfer (``src == -1`` is the host)."""
+
+    src: int
+    dst: int
+    records: int
+
+    kind = "message"
+    RECORD_BYTES = 0
+
+    @property
+    def nbytes(self) -> int:
+        return HEADER_BYTES + self.records * self.RECORD_BYTES
+
+
+@dataclass(frozen=True)
+class ShardScatter(Message):
+    kind = "shard"
+    RECORD_BYTES = EDGE_RECORD_BYTES
+
+
+@dataclass(frozen=True)
+class ForestShard(Message):
+    kind = "forest"
+    RECORD_BYTES = EDGE_RECORD_BYTES
+
+
+@dataclass(frozen=True)
+class BoundaryEdges(Message):
+    kind = "boundary"
+    RECORD_BYTES = EDGE_RECORD_BYTES
+
+
+@dataclass(frozen=True)
+class ComponentMerges(Message):
+    kind = "merge"
+    RECORD_BYTES = MERGE_RECORD_BYTES
+
+
+@dataclass(frozen=True)
+class SyncRound:
+    """All messages exchanged in one barrier-to-barrier round."""
+
+    index: int
+    label: str  # "scatter" | "reduce-<level>"
+    messages: tuple[Message, ...]
+
+    @property
+    def num_messages(self) -> int:
+        return len(self.messages)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.nbytes for m in self.messages)
+
+    @property
+    def total_records(self) -> int:
+        return sum(m.records for m in self.messages)
+
+    def count_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for m in self.messages:
+            out[m.kind] = out.get(m.kind, 0) + 1
+        return out
+
+
+def traffic_summary(rounds: tuple[SyncRound, ...]) -> dict:
+    """Aggregate counters over a round sequence (telemetry/manifests)."""
+    by_kind_msgs: dict[str, int] = {}
+    by_kind_bytes: dict[str, int] = {}
+    for rnd in rounds:
+        for m in rnd.messages:
+            by_kind_msgs[m.kind] = by_kind_msgs.get(m.kind, 0) + 1
+            by_kind_bytes[m.kind] = by_kind_bytes.get(m.kind, 0) + m.nbytes
+    return {
+        "rounds": len(rounds),
+        "messages": sum(r.num_messages for r in rounds),
+        "bytes": sum(r.total_bytes for r in rounds),
+        "messages_by_kind": by_kind_msgs,
+        "bytes_by_kind": by_kind_bytes,
+    }

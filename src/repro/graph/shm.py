@@ -125,6 +125,15 @@ class SharedArrayBundle:
     name: str
     specs: tuple[tuple[str, tuple[int, ...]], ...]
 
+    @property
+    def nbytes(self) -> int:
+        """Aligned segment footprint (what a card's shard handle maps)."""
+        total = 0
+        for dtype_str, shape in self.specs:
+            n = int(np.prod(shape)) if shape else 1
+            total += _aligned(n * np.dtype(dtype_str).itemsize)
+        return total
+
 
 @dataclass(frozen=True)
 class SharedGraphHandle:

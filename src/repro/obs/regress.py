@@ -34,9 +34,11 @@ __all__ = [
 #: nondeterministic-by-construction namespaces, skipped unless asked
 #: (kernel.time.* is wall-clock per kernel; kernel.dispatch.* counters
 #: are deterministic and stay diffable; serve.* mixes latency
-#: histograms and uptime gauges with whatever job mix clients sent)
+#: histograms and uptime gauges with whatever job mix clients sent;
+#: fabric.* gauges come from the scale-out fabric whose card/worker
+#: wall clocks vary run-to-run even though the forest never does)
 DEFAULT_SKIP_PREFIXES: tuple[str, ...] = (
-    "host.", "runcache.", "shm.", "kernel.time.", "serve.",
+    "host.", "runcache.", "shm.", "kernel.time.", "serve.", "fabric.",
 )
 
 DEFAULT_THRESHOLD = 0.10

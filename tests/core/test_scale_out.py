@@ -176,3 +176,35 @@ class TestScaleOutModel:
         block = run_scale_out(g, 4, CFG, strategy="block")
         hashed = run_scale_out(g, 4, CFG, strategy="hash")
         assert block.report.cut_edges < hashed.report.cut_edges
+
+
+class TestCardCountValidation:
+    """Regression: bad card counts fail loudly, odd counts work."""
+
+    @pytest.mark.parametrize("bad", [0, -1, -16])
+    def test_non_positive_cards_rejected(self, bad):
+        g = road_lattice(4, 4, rng=0)
+        with pytest.raises(ValueError, match="num_cards must be >= 1"):
+            run_scale_out(g, bad, CFG)
+
+    @pytest.mark.parametrize("bad", [2.0, 3.5, "4", None, True])
+    def test_non_integer_cards_rejected(self, bad):
+        g = road_lattice(4, 4, rng=0)
+        with pytest.raises(TypeError, match="num_cards must be an integer"):
+            run_scale_out(g, bad, CFG)
+
+    @pytest.mark.parametrize("cards", [3, 5, 6, 7])
+    def test_non_power_of_two_cards_exact(self, cards):
+        # the reduction tree pairs (lo, lo + stride) for any count, so
+        # odd/non-power-of-two card counts are first-class
+        g = rmat(8, 8, rng=11)
+        serial = run_scale_out(g, 1, CFG)
+        r = run_scale_out(g, cards, CFG)
+        np.testing.assert_array_equal(r.result.edge_ids,
+                                      serial.result.edge_ids)
+        assert len(r.report.local_outputs) == cards
+
+    def test_numpy_integer_cards_accepted(self):
+        g = road_lattice(4, 4, rng=0)
+        r = run_scale_out(g, np.int64(2), CFG)
+        assert r.report.num_cards == 2

@@ -1,0 +1,162 @@
+"""Network model: profiles, topologies, round costing."""
+
+import pytest
+
+from repro.fabric import (
+    NET_PROFILES,
+    NetProfile,
+    get_net_profile,
+    model_rounds,
+)
+from repro.fabric.messages import (
+    HEADER_BYTES,
+    HOST,
+    ComponentMerges,
+    ForestShard,
+    ShardScatter,
+    SyncRound,
+    traffic_summary,
+)
+from repro.fabric.netmodel import _ring_path, _torus_path, round_seconds
+
+
+def _round(*messages, label="reduce-0", index=1):
+    return SyncRound(index=index, label=label, messages=tuple(messages))
+
+
+class TestProfiles:
+    def test_builtin_profiles(self):
+        for name in ("pcie3", "pcie4", "eth100g", "aurora", "aurora2d"):
+            assert get_net_profile(name) is NET_PROFILES[name]
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError, match="unknown net profile"):
+            get_net_profile("infiniband")
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            NetProfile("x", 1e9, 1e-6, "bus")
+        with pytest.raises(ValueError, match="bandwidth"):
+            NetProfile("x", 0, 1e-6, "ring")
+        with pytest.raises(ValueError, match="latency"):
+            NetProfile("x", 1e9, -1.0, "ring")
+
+
+class TestMessageSizes:
+    def test_nbytes(self):
+        assert ShardScatter(HOST, 0, 10).nbytes == HEADER_BYTES + 120
+        assert ComponentMerges(0, 1, 4).nbytes == HEADER_BYTES + 32
+
+    def test_round_totals(self):
+        rnd = _round(ForestShard(1, 0, 10), ComponentMerges(0, 1, 2))
+        assert rnd.num_messages == 2
+        assert rnd.total_records == 12
+        assert rnd.total_bytes == 2 * HEADER_BYTES + 120 + 16
+        assert rnd.count_by_kind() == {"forest": 1, "merge": 1}
+
+    def test_traffic_summary(self):
+        rounds = (
+            _round(ShardScatter(HOST, 0, 5), label="scatter", index=0),
+            _round(ForestShard(1, 0, 3)),
+        )
+        s = traffic_summary(rounds)
+        assert s["rounds"] == 2 and s["messages"] == 2
+        assert s["messages_by_kind"] == {"shard": 1, "forest": 1}
+
+
+class TestHostStar:
+    def test_card_to_card_crosses_twice(self):
+        p = get_net_profile("pcie3")
+        host_rnd = _round(ShardScatter(HOST, 1, 100))
+        card_rnd = _round(ForestShard(1, 0, 100))
+        th = round_seconds(p, host_rnd, 4)
+        tc = round_seconds(p, card_rnd, 4)
+        nbytes = ForestShard(1, 0, 100).nbytes
+        assert th == pytest.approx(
+            p.latency_s + nbytes / p.bandwidth_bytes_per_s)
+        assert tc == pytest.approx(
+            2 * p.latency_s + 2 * nbytes / p.bandwidth_bytes_per_s)
+
+    def test_shared_link_serializes(self):
+        p = get_net_profile("pcie3")
+        one = round_seconds(p, _round(ForestShard(1, 0, 100)), 4)
+        two = round_seconds(
+            p, _round(ForestShard(1, 0, 100), ForestShard(3, 2, 100)), 4)
+        assert two > one  # both transfers share the root link
+
+
+class TestSwitch:
+    def test_disjoint_pairs_overlap(self):
+        p = get_net_profile("eth100g")
+        one = round_seconds(p, _round(ForestShard(1, 0, 100)), 4)
+        # a second pair on disjoint NICs adds no serialization
+        two = round_seconds(
+            p, _round(ForestShard(1, 0, 100), ForestShard(3, 2, 100)), 4)
+        assert two == pytest.approx(one)
+
+    def test_shared_receiver_serializes(self):
+        p = get_net_profile("eth100g")
+        one = round_seconds(p, _round(ForestShard(1, 0, 100)), 4)
+        two = round_seconds(
+            p, _round(ForestShard(1, 0, 100), ForestShard(2, 0, 100)), 4)
+        assert two > one  # card 0's inbound NIC carries both
+
+
+class TestRing:
+    def test_shorter_arc(self):
+        assert len(_ring_path(0, 1, 8)) == 1
+        assert len(_ring_path(0, 7, 8)) == 1  # wraps backwards
+        assert len(_ring_path(0, 4, 8)) == 4
+        assert _ring_path(2, 2, 8) == []
+
+    def test_distance_scales_latency(self):
+        p = get_net_profile("aurora")
+        near = round_seconds(p, _round(ForestShard(1, 0, 10)), 8)
+        far = round_seconds(p, _round(ForestShard(4, 0, 10)), 8)
+        assert far > near
+
+    def test_link_contention(self):
+        p = get_net_profile("aurora")
+        # both messages traverse link 0->1 in the same direction
+        shared = round_seconds(
+            p, _round(ForestShard(0, 2, 100), ForestShard(0, 1, 100)), 8)
+        disjoint = round_seconds(
+            p, _round(ForestShard(0, 1, 100), ForestShard(4, 3, 100)), 8)
+        assert shared > disjoint
+
+
+class TestTorus:
+    def test_xy_routing_hop_count(self):
+        # 4x4 torus: card 0 -> card 15 is (0,0) -> (3,3): wrap makes it
+        # 1 hop in x plus 1 hop in y
+        path = _torus_path(0, 15, 4, 4)
+        assert len(path) == 2
+        assert len(_torus_path(0, 5, 4, 4)) == 2  # (0,0)->(1,1)
+        assert _torus_path(3, 3, 4, 4) == []
+
+    def test_model_runs(self):
+        p = get_net_profile("aurora2d")
+        rnd = _round(ForestShard(5, 0, 50), ForestShard(10, 0, 50))
+        assert round_seconds(p, rnd, 16) > 0
+
+
+class TestModelRounds:
+    def test_report_aggregates(self):
+        p = get_net_profile("pcie3")
+        rounds = (
+            _round(ShardScatter(HOST, 0, 10), ShardScatter(HOST, 1, 10),
+                   label="scatter", index=0),
+            _round(ForestShard(1, 0, 5), ComponentMerges(0, 1, 1)),
+        )
+        report = model_rounds(p, rounds, 2)
+        assert len(report.rounds) == 2
+        assert report.total_seconds == pytest.approx(
+            report.scatter_seconds + report.reduce_seconds)
+        assert report.total_messages == 4
+        d = report.to_dict()
+        assert d["profile"] == "pcie3" and len(d["rounds"]) == 2
+
+    def test_empty_round_is_free(self):
+        p = get_net_profile("pcie3")
+        rnd = SyncRound(index=0, label="scatter", messages=())
+        assert round_seconds(p, rnd, 4) == 0.0

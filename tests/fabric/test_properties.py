@@ -1,0 +1,102 @@
+"""Property-based tests (hypothesis) for the partitioner registry.
+
+The three invariants the fabric rides on, checked over random graphs:
+
+1. every undirected edge is assigned to exactly one card;
+2. the union of per-card shards reconstructs the input CSR
+   byte-for-byte (rebuild from the concatenated shards and compare
+   every CSR array);
+3. the MST forest is byte-identical across card counts for all
+   partitioners.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Amst, AmstConfig
+from repro.fabric import plan_edges, run_fabric
+from repro.graph import from_edges
+from repro.graph.builders import from_arrays
+
+CFG = AmstConfig.full(4, cache_vertices=64)
+
+SLOW = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+PARTITIONERS = ("range", "hash", "edge-cut", "grid2d")
+
+
+@st.composite
+def random_graphs(draw, max_n=20, max_m=48):
+    n = draw(st.integers(2, max_n))
+    m = draw(st.integers(0, max_m))
+    u = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    v = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    w = list(np.random.default_rng(draw(st.integers(0, 99)))
+             .permutation(m) + 1.0)
+    return from_edges(n, np.array(u, int), np.array(v, int),
+                      np.array(w, float))
+
+
+@st.composite
+def graph_and_cards(draw):
+    g = draw(random_graphs())
+    cards = draw(st.sampled_from([1, 2, 3, 4, 6, 9]))
+    name = draw(st.sampled_from(PARTITIONERS))
+    if name == "grid2d" and cards in (2, 3):
+        cards = 4  # grid2d needs a composite count
+    return g, cards, name
+
+
+class TestExactEdgePartition:
+    @SLOW
+    @given(graph_and_cards())
+    def test_every_edge_owned_exactly_once(self, gc):
+        g, cards, name = gc
+        u, v, _ = g.edge_endpoints()
+        plan = plan_edges(g.num_vertices, u, v, cards, partitioner=name)
+        assert plan.edge_card.shape == (g.num_edges,)
+        assert ((plan.edge_card >= 0) & (plan.edge_card < cards)).all()
+        sorted_eids, bounds = plan.shards()
+        # shard slices are disjoint and cover every edge id exactly once
+        assert bounds[-1] == g.num_edges
+        assert np.array_equal(np.sort(sorted_eids),
+                              np.arange(g.num_edges))
+        counts = np.bincount(plan.edge_card, minlength=cards)
+        assert np.array_equal(np.diff(bounds), counts[:cards])
+
+
+class TestShardUnionReconstructsCsr:
+    @SLOW
+    @given(graph_and_cards())
+    def test_rebuild_byte_for_byte(self, gc):
+        g, cards, name = gc
+        u, v, w = g.edge_endpoints()
+        plan = plan_edges(g.num_vertices, u, v, cards, partitioner=name)
+        sorted_eids, bounds = plan.shards()
+        # gather every card's shard, reorder by global edge id, rebuild
+        union = np.concatenate([
+            sorted_eids[bounds[c]:bounds[c + 1]] for c in range(cards)
+        ]) if cards else np.empty(0, np.int64)
+        union = np.sort(union)
+        rebuilt = from_arrays(g.num_vertices, u[union], v[union], w[union])
+        assert np.array_equal(rebuilt.indptr, g.indptr)
+        assert np.array_equal(rebuilt.dst, g.dst)
+        assert np.array_equal(rebuilt.weight, g.weight)
+        assert np.array_equal(rebuilt.eid, g.eid)
+
+
+class TestForestIdentityAcrossCards:
+    @SLOW
+    @given(random_graphs(), st.sampled_from(PARTITIONERS))
+    def test_byte_identical_forests(self, g, name):
+        serial = Amst(CFG).run(g).result
+        cards_list = (4, 6) if name == "grid2d" else (2, 3, 4, 6)
+        for cards in cards_list:
+            run = run_fabric(g, cards, CFG, partitioner=name)
+            assert np.array_equal(run.result.edge_ids, serial.edge_ids)
+            assert run.result.total_weight == serial.total_weight
