@@ -101,7 +101,13 @@ def preprocess_options(cfg: AmstConfig) -> tuple[str, bool]:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters (memory and disk tiers separately)."""
+    """Hit/miss/eviction counters (memory and disk tiers separately).
+
+    The ``delta_*`` counters track the ``delta:`` key family (the
+    incremental engine's update-stream snapshots) as a sub-population
+    of the totals: a delta hit increments both ``memory_hits`` (or
+    ``disk_hits``) and its ``delta_`` twin.
+    """
 
     memory_hits: int = 0
     disk_hits: int = 0
@@ -109,10 +115,17 @@ class CacheStats:
     evictions: int = 0
     disk_writes: int = 0
     disk_errors: int = 0
+    delta_memory_hits: int = 0
+    delta_disk_hits: int = 0
+    delta_misses: int = 0
 
     @property
     def hits(self) -> int:
         return self.memory_hits + self.disk_hits
+
+    @property
+    def delta_hits(self) -> int:
+        return self.delta_memory_hits + self.delta_disk_hits
 
 
 @dataclass
@@ -152,10 +165,13 @@ class RunCache:
 
     def get(self, key: str):
         """Cached value or None (promotes disk hits into memory)."""
+        delta = key.startswith("delta:")
         with self._lock:
             if key in self._memory:
                 self._memory.move_to_end(key)
                 self._stats.memory_hits += 1
+                if delta:
+                    self._stats.delta_memory_hits += 1
                 return self._memory[key]
         if self.disk_dir is not None:
             path = self._disk_path(key)
@@ -167,9 +183,26 @@ class RunCache:
                     return None  # torn/corrupt file: treat as miss
                 with self._lock:
                     self._stats.disk_hits += 1
+                    if delta:
+                        self._stats.delta_disk_hits += 1
                     self._remember(key, value)
                 return value
         return None
+
+    def note_miss(self, key: str) -> None:
+        """Count one miss for ``key`` (tier-classified by prefix).
+
+        :meth:`get` returns ``None`` without counting anything — only
+        the caller knows whether that ``None`` ends in a computation.
+        ``get_or_compute`` calls this internally; callers driving the
+        get/put pair by hand (the serving daemon's single-flight path,
+        the incremental engine's delta lookups) call it when they
+        commit to computing.
+        """
+        with self._lock:
+            self._stats.misses += 1
+            if key.startswith("delta:"):
+                self._stats.delta_misses += 1
 
     def put(self, key: str, value) -> None:
         with self._lock:
@@ -219,6 +252,10 @@ class RunCache:
                 "evictions": s.evictions,
                 "disk_writes": s.disk_writes,
                 "disk_errors": s.disk_errors,
+                "delta_memory_hits": s.delta_memory_hits,
+                "delta_disk_hits": s.delta_disk_hits,
+                "delta_hits": s.delta_hits,
+                "delta_misses": s.delta_misses,
                 "memory_entries": len(self._memory),
                 "disk_enabled": self.disk_dir is not None,
             }
@@ -234,8 +271,7 @@ class RunCache:
         value = self.get(key)
         if value is not None:
             return value
-        with self._lock:
-            self._stats.misses += 1
+        self.note_miss(key)
         value = fn()
         self.put(key, value)
         return value

@@ -285,7 +285,8 @@ def _cmd_verify_body(args: argparse.Namespace, tel) -> int:
         print(f"run cache    : {s['hits']} hit(s) "
               f"({s['memory_hits']} memory, {s['disk_hits']} disk), "
               f"{s['misses']} miss(es), {s['evictions']} eviction(s), "
-              f"{s['disk_writes']} disk write(s)")
+              f"{s['disk_writes']} disk write(s), "
+              f"delta {s['delta_hits']}/{s['delta_misses']} hit/miss")
         if tel is not None:
             tel.record_runcache(cache)
     if tel is not None:
@@ -368,6 +369,88 @@ def _cmd_scaleout_body(args: argparse.Namespace, tel) -> int:
 
         validate_mst(g, r.result, reference=kruskal(g))
         print("validation   : forest matches Kruskal (weight-exact)")
+    return 0
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    with _telemetry_session(args, "update") as tel:
+        return _cmd_update_body(args, tel)
+
+
+def _cmd_update_body(args: argparse.Namespace, tel) -> int:
+    """Incremental MST maintenance over a seeded update stream."""
+    from .incremental import (
+        IncrementalConfig,
+        IncrementalMst,
+        random_batches,
+    )
+
+    g = load(args.dataset, seed=args.seed, size=args.scale)
+    cache = None
+    if not args.no_cache:
+        from .bench.runcache import RunCache
+
+        cache = RunCache.from_env()
+    engine = IncrementalMst(
+        g,
+        config=IncrementalConfig(
+            fallback_fraction=args.fallback_fraction),
+        cache=cache,
+        backend=None if args.backend == "auto" else args.backend)
+    if tel is not None:
+        from .bench.runcache import graph_fingerprint
+
+        tel.context = tel.context.with_(graph_fingerprint=graph_fingerprint(g))
+    print(f"dataset      : {args.dataset} "
+          f"(n={g.num_vertices:,}, m={g.num_edges:,})")
+    print(f"stream       : {args.batches} batch(es) x "
+          f"{args.batch_size} edit(s), update seed {args.update_seed}, "
+          f"insert fraction {args.insert_fraction:.2f}")
+    for i, batch in enumerate(random_batches(
+            g, seed=args.update_seed, batches=args.batches,
+            batch_size=args.batch_size,
+            insert_fraction=args.insert_fraction)):
+        if tel is not None:
+            with tel.spans.span(f"batch:{i}", category="stage"):
+                stats = engine.apply(batch)
+        else:
+            stats = engine.apply(batch)
+        engine.check_invariants()
+        how = ("cache hit" if stats.cache_hit
+               else "fallback" if stats.fallback else "delta")
+        print(f"batch {i:>4d}   : +{stats.inserts}/-{stats.deletes} "
+              f"edge(s), {stats.edges_touched} touched, "
+              f"{stats.swaps} swap(s), {stats.replacements} "
+              f"replacement(s), {stats.seconds * 1e3:.2f} ms ({how})")
+    if args.validate:
+        engine.verify_against_oracle()
+        print("validation   : forest byte-identical to Kruskal oracle")
+    forest = engine.forest()
+    totals = engine.totals
+    print(f"forest       : {forest.num_edges:,} edges, "
+          f"weight {forest.total_weight:,.0f}, "
+          f"{forest.num_components} component(s)")
+    print(f"delta stats  : {totals.edges_touched:,} edge(s) touched, "
+          f"{totals.components_replayed:,} component op(s), "
+          f"{totals.fallbacks} fallback(s), "
+          f"{totals.cache_hits} delta-cache hit(s)")
+    if cache is not None:
+        s = cache.stats()
+        print(f"run cache    : delta {s['delta_hits']}/"
+              f"{s['delta_misses']} hit/miss, "
+              f"{s['hits']} total hit(s)")
+        if tel is not None:
+            tel.record_runcache(cache)
+    if tel is not None:
+        tel.summary = {
+            "dataset": args.dataset,
+            "batches": args.batches,
+            "batch_size": args.batch_size,
+            "fallbacks": totals.fallbacks,
+            "edges_touched": totals.edges_touched,
+            "forest_edges": int(forest.num_edges),
+            "total_weight": float(forest.total_weight),
+        }
     return 0
 
 
@@ -587,6 +670,35 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(pv)
     pv.set_defaults(func=_cmd_verify)
 
+    pi = sub.add_parser(
+        "update",
+        help="incremental MST under batched edge updates "
+             "(docs/INCREMENTAL.md)")
+    pi.add_argument("--dataset", default="RC",
+                    help="Table I tag (EF/GD/CD/CL/RC/RP/RT/UR/CF/UU)")
+    pi.add_argument("--scale", type=float, default=1.0)
+    pi.add_argument("--seed", type=int, default=0)
+    pi.add_argument("--batches", type=int, default=10,
+                    help="number of update batches to stream")
+    pi.add_argument("--batch-size", type=int, default=8,
+                    help="edits per batch")
+    pi.add_argument("--update-seed", type=int, default=7,
+                    help="seed of the update stream (independent of "
+                         "the dataset seed)")
+    pi.add_argument("--insert-fraction", type=float, default=0.5,
+                    help="probability an edit is an insertion")
+    pi.add_argument("--fallback-fraction", type=float, default=0.25,
+                    help="fall back to a full recompute when a batch "
+                         "or its touched region exceeds this fraction "
+                         "of the live edges")
+    pi.add_argument("--no-cache", action="store_true",
+                    help="disable the delta/run cache")
+    pi.add_argument("--validate", action="store_true",
+                    help="check the final forest against Kruskal")
+    _add_backend_flag(pi)
+    _add_telemetry_flags(pi)
+    pi.set_defaults(func=_cmd_update)
+
     pd = sub.add_parser("datasets", help="print the Table I suite")
     pd.add_argument("--scale", type=float, default=1.0)
     pd.add_argument("--seed", type=int, default=0)
@@ -674,7 +786,7 @@ def build_parser() -> argparse.ArgumentParser:
     ce.add_argument("fingerprint")
     cs = csub.add_parser("submit", help="submit an async job")
     cs.add_argument("--kind", default="run",
-                    choices=["run", "verify", "sweep"])
+                    choices=["run", "verify", "sweep", "update"])
     cs.add_argument("--graph", required=True,
                     help="published graph fingerprint")
     cs.add_argument("--client-id", default="cli")

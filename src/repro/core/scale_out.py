@@ -12,8 +12,8 @@ synchronization rounds, pluggable partitioners, and an explicit network
 model.  This module keeps the historical ``run_scale_out`` surface:
 
 * ``strategy="block"/"hash"`` still work (legacy aliases for the
-  ``"range"``/``"hash"`` partitioners); new callers pass
-  ``partitioner=`` / ``net_profile=`` directly.
+  ``"range"``/``"hash"`` partitioners) but emit a ``DeprecationWarning``;
+  new callers pass ``partitioner=`` / ``net_profile=`` directly.
 * :class:`ScaleOutReport` keeps its original fields and adds the
   fabric's message/round/network figures with defaults, so recorded
   manifests and the benchmark-trajectory scripts keep reading it.
@@ -29,6 +29,7 @@ the host→card shard distribution separately.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 from ..fabric.messages import EDGE_RECORD_BYTES as _EDGE_RECORD_BYTES  # noqa: F401
@@ -116,7 +117,8 @@ def run_scale_out(
 
     ``partitioner`` selects a registered strategy (``range``, ``hash``,
     ``edge-cut``, ``grid2d``); the legacy ``strategy="block"/"hash"``
-    spelling maps onto ``range``/``hash``.  ``jobs > 1`` fans the
+    spelling maps onto ``range``/``hash`` and warns with
+    ``DeprecationWarning``.  ``jobs > 1`` fans the
     per-card runs across worker processes; the forest, the modelled
     report and every event count are byte-identical to the serial run —
     only ``report.host_phase1_seconds`` (real wall clock) differs.
@@ -124,8 +126,14 @@ def run_scale_out(
     cfg = config if config is not None else AmstConfig.full()
     num_cards = validate_num_cards(num_cards)
     if partitioner is None:
-        partitioner = (_STRATEGY_ALIASES.get(strategy, strategy)
-                       if strategy is not None else "range")
+        if strategy is not None:
+            warnings.warn(
+                "run_scale_out(strategy=...) is deprecated; "
+                "use partitioner= instead",
+                DeprecationWarning, stacklevel=2)
+            partitioner = _STRATEGY_ALIASES.get(strategy, strategy)
+        else:
+            partitioner = "range"
     elif strategy is not None:
         raise ValueError(
             "pass either the legacy strategy= or partitioner=, not both")

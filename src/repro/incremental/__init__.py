@@ -1,0 +1,31 @@
+"""Incremental MST: batched edge updates with delta recomputation.
+
+This package turns the static pipeline into a dynamic one (ROADMAP
+item 4a): :class:`DynamicGraph` absorbs batched edge
+insertions/deletions over a CSR base graph, and :class:`IncrementalMst`
+maintains the *exact* minimum spanning forest across those updates —
+byte-identical to a from-scratch Kruskal run under the repo-wide strict
+``(weight, eid)`` tie-break, at O(affected region) cost per update
+instead of O(m).  See docs/INCREMENTAL.md for the algorithm, the
+fallback policy and the ``delta:`` cache-key scheme.
+"""
+
+from .dynamic import AppliedBatch, DynamicGraph, UpdateBatch
+from .engine import (
+    BatchStats,
+    IncrementalConfig,
+    IncrementalError,
+    IncrementalMst,
+)
+from .stream import random_batches
+
+__all__ = [
+    "AppliedBatch",
+    "BatchStats",
+    "DynamicGraph",
+    "IncrementalConfig",
+    "IncrementalError",
+    "IncrementalMst",
+    "UpdateBatch",
+    "random_batches",
+]

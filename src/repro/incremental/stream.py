@@ -1,0 +1,67 @@
+"""Deterministic update-stream generation for benchmarks and the CLI.
+
+``amst update``, ``benchmarks/bench_incremental.py`` and the test suite
+all need the same thing: a reproducible sequence of
+:class:`~repro.incremental.dynamic.UpdateBatch` objects against an
+evolving graph.  The generator is seeded and draws deletions from the
+*current* compact eid space (it tracks the live edge count as batches
+are produced), so a stream is a pure function of
+``(base graph, seed, knobs)`` — which is exactly what lets the delta
+cache (``delta:{state_fp}:{batch_fp}``) go warm on a replay.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from ..graph.csr import CSRGraph
+from .dynamic import UpdateBatch
+
+__all__ = ["random_batches"]
+
+#: matches repro.bench.datasets random_weights: integral floats drawn
+#: from [1, 2^32) so duplicate weights occur at realistic rates
+_WEIGHT_HIGH = 2 ** 32
+
+
+def random_batches(
+    graph: CSRGraph,
+    *,
+    seed: int,
+    batches: int,
+    batch_size: int,
+    insert_fraction: float = 0.5,
+    weight_high: int = _WEIGHT_HIGH,
+) -> Iterator[UpdateBatch]:
+    """Yield ``batches`` seeded update batches of ``batch_size`` edits.
+
+    Each edit is an insertion with probability ``insert_fraction``
+    (uniform random endpoints — self-loops possible by design — and an
+    integral weight in ``[1, weight_high)``), otherwise a deletion of a
+    uniformly random *live* compact eid.  Deletions within one batch are
+    drawn without replacement; when the live graph runs out of edges the
+    remaining edits become insertions.
+    """
+    if batches < 0 or batch_size <= 0:
+        raise ValueError("batches must be >= 0 and batch_size > 0")
+    if not (0.0 <= insert_fraction <= 1.0):
+        raise ValueError("insert_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    live = graph.num_edges
+    for _ in range(batches):
+        want_deletes = int(
+            (rng.random(batch_size) >= insert_fraction).sum())
+        num_deletes = min(want_deletes, live)
+        num_inserts = batch_size - num_deletes
+        deletes = rng.choice(live, size=num_deletes,
+                             replace=False) if num_deletes else ()
+        u = rng.integers(0, n, size=num_inserts)
+        v = rng.integers(0, n, size=num_inserts)
+        w = rng.integers(1, weight_high,
+                         size=num_inserts).astype(np.float64)
+        yield UpdateBatch(insert_u=u, insert_v=v, insert_w=w,
+                          delete_eids=np.asarray(deletes, dtype=np.int64))
+        live = live - num_deletes + num_inserts

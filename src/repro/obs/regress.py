@@ -36,9 +36,12 @@ __all__ = [
 #: are deterministic and stay diffable; serve.* mixes latency
 #: histograms and uptime gauges with whatever job mix clients sent;
 #: fabric.* gauges come from the scale-out fabric whose card/worker
-#: wall clocks vary run-to-run even though the forest never does)
+#: wall clocks vary run-to-run even though the forest never does;
+#: incremental.* counters depend on the update stream a session
+#: happened to apply, not on any fixed workload)
 DEFAULT_SKIP_PREFIXES: tuple[str, ...] = (
     "host.", "runcache.", "shm.", "kernel.time.", "serve.", "fabric.",
+    "incremental.",
 )
 
 DEFAULT_THRESHOLD = 0.10

@@ -55,7 +55,7 @@ __all__ = [
 
 PROTOCOL = "amst-serve/1"
 
-JOB_KINDS = ("run", "verify", "sweep")
+JOB_KINDS = ("run", "verify", "sweep", "update")
 
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 TERMINAL_STATES = ("done", "failed", "cancelled")

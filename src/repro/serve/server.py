@@ -28,6 +28,7 @@ import hashlib
 import json
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
@@ -55,6 +56,7 @@ _PARAM_KEYS = {
     "run": {"parallelism", "cache_vertices", "backend", "self_check"},
     "verify": {"backend", "certify"},
     "sweep": {"name", "cache_vertices", "seed"},
+    "update": {"inserts", "deletes", "fallback_fraction", "backend"},
 }
 #: test-only fault-injection keys, rejected unless the daemon opted in
 _FAULT_KEYS = {"fault", "sleep_s"}
@@ -65,6 +67,40 @@ _BACKENDS = ("auto", "numpy", "numba", "python")
 _JOB_SECONDS_BUCKETS = (
     0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0,
 )
+
+
+#: incremental engines kept warm per graph fingerprint (update jobs)
+_MAX_LIVE_ENGINES = 8
+
+#: how long a coalesced run job waits for the in-flight leader before
+#: computing on its own (leader crash insurance, not a normal path)
+_SINGLEFLIGHT_WAIT_S = 300.0
+
+
+class _SingleFlight:
+    """Per-key in-flight compute dedup for the run path.
+
+    The first caller to :meth:`leader` for a key becomes the leader
+    (gets ``None``) and must call :meth:`done` when the cache is
+    populated; every other caller gets the leader's event to wait on.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[str, threading.Event] = {}
+
+    def leader(self, key: str) -> threading.Event | None:
+        with self._lock:
+            event = self._inflight.get(key)
+            if event is None:
+                self._inflight[key] = threading.Event()
+            return event
+
+    def done(self, key: str) -> None:
+        with self._lock:
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
 
 
 @dataclass(frozen=True)
@@ -100,6 +136,11 @@ class AmstDaemon:
         )
         self.started = time.time()
         self._job_manifests: dict[str, str] = {}
+        self._singleflight = _SingleFlight()
+        # warm incremental engines, keyed by current graph fingerprint;
+        # updates are serialized under the lock (they mutate the engine)
+        self._engines: "OrderedDict[str, object]" = OrderedDict()
+        self._engine_lock = threading.Lock()
         self._state_lock = threading.Lock()
         self._draining = False
         self._httpd: ThreadingHTTPServer | None = None
@@ -273,6 +314,8 @@ class AmstDaemon:
                                  f"unknown sweep {name!r}",
                                  {"field": "params.name",
                                   "available": sorted(SWEEPS)})
+        if kind == "update":
+            _parse_update_batch(params)  # shape errors fail at admission
 
     def _execute_job(self, job: Job) -> tuple[dict, bool]:
         """Worker body: fault hooks, cache-first compute, telemetry."""
@@ -286,6 +329,8 @@ class AmstDaemon:
             payload, hit = self._execute_run(job, graph)
         elif job.kind == "verify":
             payload, hit = self._execute_verify(job, graph)
+        elif job.kind == "update":
+            payload, hit = self._execute_update(job, graph)
         else:
             payload, hit = self._execute_sweep(job, graph)
         seconds = time.monotonic() - t0
@@ -323,10 +368,8 @@ class AmstDaemon:
                      graph: CSRGraph) -> tuple[dict, bool]:
         cfg = self._job_config(job.params)
         key = f"run:{job.graph}:{config_fingerprint(cfg)}"
-        computed: list[int] = []
 
         def compute():
-            computed.append(1)
             from ..bench.executor import TaskSpec, run_task
 
             # route through the executor's task plumbing — the same
@@ -335,8 +378,25 @@ class AmstDaemon:
                 key=f"serve.{job.id}", fn=_run_job_task,
                 kwargs={"cfg": cfg, "graph": graph}))[0]
 
-        out = self.cache.get_or_compute(key, compute)
-        hit = not computed
+        hit = True
+        out = self.cache.get(key)
+        while out is None:
+            event = self._singleflight.leader(key)
+            if event is None:
+                # we own the compute for everyone queued on this key
+                try:
+                    self.cache.note_miss(key)
+                    out = compute()
+                    self.cache.put(key, out)
+                finally:
+                    self._singleflight.done(key)
+                hit = False
+                break
+            event.wait(timeout=_SINGLEFLIGHT_WAIT_S)
+            out = self.cache.get(key)
+            if out is not None:
+                self.metrics.inc("serve.singleflight.coalesced")
+            # else: the leader failed — loop and take leadership
         payload = _run_payload(out, cfg)
         self._record_job_manifest(job, cfg, out)
         return payload, hit
@@ -396,6 +456,67 @@ class AmstDaemon:
             "digest": hashlib.blake2b(
                 text.encode(), digest_size=16).hexdigest(),
         }, False
+
+    def _execute_update(self, job: Job,
+                        graph: CSRGraph) -> tuple[dict, bool]:
+        """Apply an update batch to a published graph.
+
+        Content addressing stays functional: the base graph keeps its
+        fingerprint and record, the updated graph is published as a new
+        registry entry, and the response carries the new fingerprint so
+        clients chain further updates against it.  A warm
+        ``IncrementalMst`` engine follows the fingerprint chain, so a
+        stream of small update jobs never pays a full recompute.
+        """
+        from ..incremental import IncrementalConfig, IncrementalMst
+
+        batch = _parse_update_batch(job.params)
+        backend = job.params.get("backend", "auto")
+        config = IncrementalConfig(fallback_fraction=float(
+            job.params.get("fallback_fraction", 0.25)))
+        base = self.registry.get(job.graph)
+        with self._engine_lock:
+            engine = self._engines.pop(job.graph, None)
+            if engine is None:
+                engine = IncrementalMst(
+                    base.graph, config=config, cache=self.cache,
+                    backend=None if backend == "auto" else backend)
+            else:
+                engine.config = config
+                engine.backend = None if backend == "auto" else backend
+            try:
+                stats = engine.apply(batch)
+                engine.check_invariants()
+            except ValueError as exc:
+                raise ServeError("bad_request", str(exc),
+                                 {"field": "params"}) from exc
+            record, reused = self.registry.publish(
+                engine.graph(), name=base.view().get("name", ""))
+            self._engines[record.fingerprint] = engine
+            while len(self._engines) > _MAX_LIVE_ENGINES:
+                self._engines.popitem(last=False)
+            forest = engine.forest()
+        self.metrics.inc(
+            "serve.graphs.reused" if reused else "serve.graphs.published")
+        eids = forest.edge_ids
+        digest = hashlib.blake2b(
+            eids.tobytes() + b"|" + repr(forest.total_weight).encode(),
+            digest_size=16).hexdigest()
+        view = record.view()
+        view["reused"] = reused
+        return {
+            "base": job.graph,
+            "fingerprint": record.fingerprint,
+            "graph": view,
+            "stats": stats.to_dict(),
+            "forest": {
+                "num_edges": int(eids.size),
+                "total_weight": float(forest.total_weight),
+                "weight_repr": repr(forest.total_weight),
+                "num_components": int(forest.num_components),
+                "digest": digest,
+            },
+        }, stats.cache_hit
 
     def _record_job_manifest(self, job: Job, cfg: AmstConfig,
                              out) -> None:
@@ -462,6 +583,14 @@ class AmstDaemon:
                                time.time() - self.started)
         self.metrics.set_gauge("serve.graphs.registered",
                                float(len(self.registry)))
+        # run-cache tiers, including the delta: family the incremental
+        # engine feeds; gauge-named to stay clear of the shutdown-time
+        # ``runcache.*`` counter fold
+        for name, value in self.cache.stats().items():
+            if isinstance(value, bool) or not isinstance(
+                    value, (int, float)):
+                continue
+            self.metrics.set_gauge(f"serve.runcache.{name}", float(value))
 
     def prometheus_text(self) -> str:
         self._refresh_gauges()
@@ -505,6 +634,46 @@ def _run_payload(out, cfg: AmstConfig) -> dict:
         },
         "config_fingerprint": config_fingerprint(cfg),
     }
+
+
+def _parse_update_batch(params: dict):
+    """Build an ``UpdateBatch`` from update-job params (wire shape:
+    ``inserts`` = list of ``[u, v, w]`` triples, ``deletes`` = list of
+    compact eids).  Raises ``ServeError("bad_request")`` on any shape
+    or value problem — called at admission *and* at execution."""
+    from ..incremental import UpdateBatch
+
+    inserts = params.get("inserts", [])
+    deletes = params.get("deletes", [])
+    if not isinstance(inserts, list) or not all(
+            isinstance(row, (list, tuple)) and len(row) == 3
+            and all(isinstance(x, (int, float)) and not isinstance(x, bool)
+                    for x in row)
+            for row in inserts):
+        raise ServeError(
+            "bad_request", "inserts must be a list of [u, v, w] triples",
+            {"field": "params.inserts"})
+    if not isinstance(deletes, list) or not all(
+            isinstance(x, int) and not isinstance(x, bool)
+            for x in deletes):
+        raise ServeError(
+            "bad_request", "deletes must be a list of integer edge ids",
+            {"field": "params.deletes"})
+    if not inserts and not deletes:
+        raise ServeError("bad_request",
+                         "update batch needs inserts and/or deletes",
+                         {"field": "params"})
+    fraction = params.get("fallback_fraction", 0.25)
+    if isinstance(fraction, bool) or not isinstance(
+            fraction, (int, float)) or not 0.0 < float(fraction) <= 1.0:
+        raise ServeError(
+            "bad_request", "fallback_fraction must be a float in (0, 1]",
+            {"field": "params.fallback_fraction", "got": fraction})
+    try:
+        return UpdateBatch.of(inserts=inserts, deletes=deletes)
+    except ValueError as exc:
+        raise ServeError("bad_request", str(exc),
+                         {"field": "params"}) from exc
 
 
 def _graph_from_edges(spec: object) -> CSRGraph:

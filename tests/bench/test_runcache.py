@@ -185,3 +185,48 @@ class TestDomainHelpers:
         first = cached_certificate(graph, CFG, bad, cache=cache)
         second = cached_certificate(graph, CFG, bad, cache=cache)
         assert first is not None and second == first
+
+
+class TestDeltaTierStats:
+    """The ``delta:`` key family gets its own hit/miss sub-counters."""
+
+    def test_delta_keys_classified_in_both_tiers(self, tmp_path):
+        cache = RunCache(disk_dir=tmp_path)
+        cache.put("delta:a:b", {"x": 1})
+        cache.put("ref:c:d", {"y": 2})
+        assert cache.get("delta:a:b") == {"x": 1}  # memory
+        assert cache.get("ref:c:d") == {"y": 2}
+        fresh = RunCache(disk_dir=tmp_path)
+        assert fresh.get("delta:a:b") == {"x": 1}  # disk
+        s = cache.stats()
+        assert s["delta_memory_hits"] == 1
+        assert s["delta_disk_hits"] == 0
+        assert s["memory_hits"] == 2  # delta hits are a sub-population
+        assert fresh.stats()["delta_disk_hits"] == 1
+
+    def test_note_miss_classifies_by_prefix(self):
+        cache = RunCache()
+        cache.note_miss("delta:a:b")
+        cache.note_miss("run:c:d")
+        s = cache.stats()
+        assert s["misses"] == 2
+        assert s["delta_misses"] == 1
+        assert s["delta_hits"] == 0
+
+    def test_get_alone_never_counts_a_miss(self):
+        # by design: only note_miss/get_or_compute commit a miss, so a
+        # probe that doesn't end in a computation stays invisible
+        cache = RunCache()
+        assert cache.get("delta:a:b") is None
+        s = cache.stats()
+        assert s["misses"] == 0
+        assert s["delta_misses"] == 0
+
+    def test_get_or_compute_routes_through_note_miss(self):
+        cache = RunCache()
+        cache.get_or_compute("delta:k", lambda: 7)
+        cache.get_or_compute("delta:k", lambda: 8)
+        s = cache.stats()
+        assert s["delta_misses"] == 1
+        assert s["delta_memory_hits"] == 1
+        assert s["delta_hits"] == 1

@@ -208,3 +208,33 @@ class TestCardCountValidation:
         g = road_lattice(4, 4, rng=0)
         r = run_scale_out(g, np.int64(2), CFG)
         assert r.report.num_cards == 2
+
+
+class TestStrategyDeprecation:
+    """``strategy=`` still works but warns, verbatim, toward
+    ``partitioner=``; the replacement spelling stays silent."""
+
+    def test_strategy_warns_with_pinned_text(self):
+        g = road_lattice(4, 4, rng=0)
+        with pytest.warns(
+            DeprecationWarning,
+            match=r"^run_scale_out\(strategy=\.\.\.\) is deprecated; "
+                  r"use partitioner= instead$",
+        ):
+            r = run_scale_out(g, 2, CFG, strategy="block")
+        assert r.report.num_cards == 2
+
+    def test_partitioner_does_not_warn(self):
+        import warnings
+
+        g = road_lattice(4, 4, rng=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_scale_out(g, 2, CFG, partitioner="range")
+            run_scale_out(g, 2, CFG)
+
+    def test_strategy_and_partitioner_conflict(self):
+        g = road_lattice(4, 4, rng=0)
+        with pytest.raises(ValueError):
+            run_scale_out(g, 2, CFG, strategy="block",
+                          partitioner="block")

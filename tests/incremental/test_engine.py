@@ -1,0 +1,228 @@
+"""IncrementalMst unit tests: every repair path against the Kruskal
+oracle, the fallback policy, and the ``delta:`` cache tier."""
+
+import numpy as np
+import pytest
+
+from repro.bench.runcache import RunCache
+from repro.graph.builders import from_arrays
+from repro.incremental import (
+    IncrementalConfig,
+    IncrementalError,
+    IncrementalMst,
+    UpdateBatch,
+    random_batches,
+)
+from repro.mst.kruskal import kruskal
+
+NO_FALLBACK = IncrementalConfig(fallback_fraction=1.0)
+
+
+def grid_graph(rows=6, cols=6, seed=0):
+    """A small lattice with duplicate integer weights."""
+    rng = np.random.default_rng(seed)
+    u, v = [], []
+    for r in range(rows):
+        for c in range(cols):
+            x = r * cols + c
+            if c + 1 < cols:
+                u.append(x)
+                v.append(x + 1)
+            if r + 1 < rows:
+                u.append(x)
+                v.append(x + cols)
+    w = rng.integers(1, 8, len(u)).astype(np.float64)
+    return from_arrays(rows * cols,
+                       np.array(u, dtype=np.int64),
+                       np.array(v, dtype=np.int64), w)
+
+
+def assert_matches_oracle(engine):
+    expected = kruskal(engine.graph())
+    got = engine.forest()
+    np.testing.assert_array_equal(got.edge_ids, expected.edge_ids)
+    assert repr(got.total_weight) == repr(expected.total_weight)
+    assert got.num_components == expected.num_components
+
+
+class TestRepairPaths:
+    def test_initial_forest_matches_oracle(self):
+        engine = IncrementalMst(grid_graph(), config=NO_FALLBACK)
+        engine.check_invariants()
+        assert_matches_oracle(engine)
+
+    def test_merge_insertion(self):
+        # two disjoint paths, then bridge them
+        g = from_arrays(6, np.array([0, 1, 3, 4]), np.array([1, 2, 4, 5]),
+                        np.array([1.0, 2.0, 3.0, 4.0]))
+        engine = IncrementalMst(g, config=NO_FALLBACK)
+        assert engine.num_components == 2
+        stats = engine.apply(UpdateBatch.of(inserts=[(2, 3, 9.0)]),
+                             verify=True)
+        assert stats.merges == 1
+        assert engine.num_components == 1
+
+    def test_cycle_swap_and_no_op(self):
+        g = from_arrays(3, np.array([0, 1]), np.array([1, 2]),
+                        np.array([5.0, 5.0]))
+        engine = IncrementalMst(g, config=NO_FALLBACK)
+        # worse edge on the cycle: no-op
+        stats = engine.apply(UpdateBatch.of(inserts=[(0, 2, 6.0)]),
+                             verify=True)
+        assert stats.swaps == 0
+        # better edge: displaces the tree-path maximum
+        stats = engine.apply(UpdateBatch.of(inserts=[(0, 2, 1.0)]),
+                             verify=True)
+        assert stats.swaps == 1
+
+    def test_tie_break_on_equal_weights(self):
+        # inserting an equal-weight parallel edge must NOT displace the
+        # incumbent: the incumbent's eid is smaller under (w, eid)
+        g = from_arrays(2, np.array([0]), np.array([1]), np.array([3.0]))
+        engine = IncrementalMst(g, config=NO_FALLBACK)
+        stats = engine.apply(UpdateBatch.of(inserts=[(0, 1, 3.0)]),
+                             verify=True)
+        assert stats.swaps == 0
+        assert engine.forest().edge_ids.tolist() == [0]
+
+    def test_self_loop_insertion_is_graph_only(self):
+        engine = IncrementalMst(grid_graph(3, 3), config=NO_FALLBACK)
+        before = engine.num_forest_edges
+        engine.apply(UpdateBatch.of(inserts=[(4, 4, 0.001)]), verify=True)
+        assert engine.num_forest_edges == before
+
+    def test_deletion_with_replacement(self):
+        engine = IncrementalMst(grid_graph(), config=NO_FALLBACK)
+        forest_eid = int(engine.forest().edge_ids[0])
+        stats = engine.apply(UpdateBatch.of(deletes=[forest_eid]),
+                             verify=True)
+        assert stats.replacements + stats.disconnections == 1
+
+    def test_disconnecting_deletion(self):
+        g = from_arrays(3, np.array([0, 1]), np.array([1, 2]),
+                        np.array([1.0, 2.0]))
+        engine = IncrementalMst(g, config=NO_FALLBACK)
+        stats = engine.apply(UpdateBatch.of(deletes=[1]), verify=True)
+        assert stats.disconnections == 1
+        assert engine.num_components == 2
+
+    def test_non_forest_deletion_is_free(self):
+        g = from_arrays(2, np.array([0, 0]), np.array([1, 1]),
+                        np.array([1.0, 2.0]))
+        engine = IncrementalMst(g, config=NO_FALLBACK)
+        stats = engine.apply(UpdateBatch.of(deletes=[1]), verify=True)
+        assert stats.components_replayed == 0
+
+    def test_mixed_stream_stays_exact(self):
+        g = grid_graph(8, 8, seed=3)
+        engine = IncrementalMst(g, config=NO_FALLBACK)
+        for batch in random_batches(g, seed=11, batches=25, batch_size=5):
+            engine.apply(batch, verify=True)
+
+
+class TestFallback:
+    def test_large_batch_falls_back_upfront(self):
+        g = grid_graph()
+        engine = IncrementalMst(
+            g, config=IncrementalConfig(fallback_fraction=0.05))
+        big = next(random_batches(g, seed=1, batches=1,
+                                  batch_size=g.num_edges // 2))
+        stats = engine.apply(big, verify=True)
+        assert stats.fallback
+        assert stats.edges_touched == 0  # never entered per-edge repair
+
+    def test_small_batches_do_not_fall_back(self):
+        g = grid_graph()
+        engine = IncrementalMst(
+            g, config=IncrementalConfig(fallback_fraction=0.25))
+        for batch in random_batches(g, seed=2, batches=10, batch_size=2):
+            stats = engine.apply(batch, verify=True)
+            assert not stats.fallback
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="fallback_fraction"):
+            IncrementalConfig(fallback_fraction=0.0)
+        with pytest.raises(ValueError, match="fallback_fraction"):
+            IncrementalConfig(fallback_fraction=1.5)
+
+
+class TestDeltaCache:
+    def test_warm_replay_hits_and_stays_exact(self):
+        g = grid_graph(seed=5)
+        cache = RunCache()
+        batches = list(random_batches(g, seed=9, batches=6, batch_size=3))
+
+        cold = IncrementalMst(g, config=NO_FALLBACK, cache=cache)
+        for batch in batches:
+            assert not cold.apply(batch, verify=True).cache_hit
+
+        warm = IncrementalMst(g, config=NO_FALLBACK, cache=cache)
+        for batch in batches:
+            assert warm.apply(batch, verify=True).cache_hit
+        assert_matches_oracle(warm)
+
+        stats = cache.stats()
+        assert stats["delta_hits"] == len(batches)
+        assert stats["delta_misses"] == len(batches)
+        assert stats["delta_memory_hits"] == len(batches)
+
+    def test_divergent_stream_misses(self):
+        g = grid_graph(seed=5)
+        cache = RunCache()
+        a = IncrementalMst(g, config=NO_FALLBACK, cache=cache)
+        a.apply(UpdateBatch.of(inserts=[(0, 7, 1.0)]))
+        b = IncrementalMst(g, config=NO_FALLBACK, cache=cache)
+        stats = b.apply(UpdateBatch.of(inserts=[(0, 7, 2.0)]))
+        assert not stats.cache_hit
+        assert cache.stats()["delta_misses"] == 2
+
+    def test_disk_tier_round_trip(self, tmp_path):
+        g = grid_graph(seed=6)
+        batch = UpdateBatch.of(inserts=[(0, 35, 1.5)], deletes=[0])
+        one = IncrementalMst(g, config=NO_FALLBACK,
+                             cache=RunCache(disk_dir=tmp_path))
+        one.apply(batch, verify=True)
+        fresh_cache = RunCache(disk_dir=tmp_path)
+        two = IncrementalMst(g, config=NO_FALLBACK, cache=fresh_cache)
+        assert two.apply(batch, verify=True).cache_hit
+        assert fresh_cache.stats()["delta_disk_hits"] >= 1
+
+
+class TestTelemetry:
+    def test_incremental_counters_recorded(self):
+        from repro.obs import Telemetry
+        from repro.obs.context import activate, deactivate, new_run_context
+
+        tel = Telemetry(context=new_run_context(command="test"))
+        previous = activate(tel)
+        try:
+            g = grid_graph()
+            engine = IncrementalMst(g, config=NO_FALLBACK)
+            engine.apply(next(random_batches(g, seed=4, batches=1,
+                                             batch_size=3)))
+        finally:
+            deactivate(previous)
+        counters = tel.metrics.counters
+        assert counters.get("incremental.batches") == 1
+        assert counters.get("incremental.inserts", 0) \
+            + counters.get("incremental.deletes", 0) == 3
+        assert "incremental.edges_touched" in counters
+
+
+class TestErrors:
+    def test_oracle_divergence_raises(self):
+        engine = IncrementalMst(grid_graph(), config=NO_FALLBACK)
+        # corrupt the mask directly: drop one forest edge
+        internal = int(np.flatnonzero(engine._in_forest.view)[0])
+        engine._in_forest.view[internal] = False
+        engine._forest_count -= 1
+        with pytest.raises(IncrementalError, match="diverged"):
+            engine.verify_against_oracle()
+
+    def test_note_miss_requires_no_get(self):
+        cache = RunCache()
+        cache.note_miss("delta:a:b")
+        cache.note_miss("ref:a:b")
+        stats = cache.stats()
+        assert stats["misses"] == 2
+        assert stats["delta_misses"] == 1

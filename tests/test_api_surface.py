@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.core",
     "repro.baselines",
     "repro.bench",
+    "repro.incremental",
 ]
 
 
