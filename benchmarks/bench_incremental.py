@@ -85,10 +85,11 @@ def bench_dataset(tag, *, seed, batches, batch_size, size=1.0):
 
 def main(argv=None):
     import argparse
-    import json
     import os
     import platform
     import sys
+
+    from repro.bench.benchio import write_bench_json
 
     ap = argparse.ArgumentParser(
         description="incremental MST vs. full recompute gate "
@@ -151,9 +152,7 @@ def main(argv=None):
         },
     }
 
-    with open(args.out, "w") as fh:
-        json.dump(doc, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    write_bench_json(args.out, doc)
     print(f"wrote {args.out}", flush=True)
 
     if args.check and not (all_identical

@@ -322,11 +322,11 @@ def bench_end_to_end(datasets, size, seed, rounds):
 
 def main(argv=None):
     import argparse
-    import json
     import os
     import platform
     import sys
 
+    from repro.bench.benchio import write_bench_json
     from repro.kernels import get_kernel_set, numba_available, numba_version
 
     ap = argparse.ArgumentParser(
@@ -387,9 +387,7 @@ def main(argv=None):
                 row["speedup"] >= args.min_speedup for row in e2e),
         }
 
-    with open(args.out, "w") as fh:
-        json.dump(doc, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    write_bench_json(args.out, doc)
     print(f"wrote {args.out}", flush=True)
 
     if args.check and not doc["skipped"]:

@@ -32,7 +32,6 @@ speedup can never be bought with a wrong answer.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import platform
 import sys
@@ -41,6 +40,7 @@ import time
 import numpy as np
 
 from repro.bench import RunCache, load
+from repro.bench.benchio import write_bench_json
 from repro.core import AmstConfig, run_scale_out
 from repro.core.scale_out import _partition_edges, partition_vertices
 from repro.verify.oracle import run_oracle
@@ -202,9 +202,7 @@ def main(argv=None) -> int:
         "partition": partition,
         "criteria": criteria,
     }
-    with open(args.out, "w") as fh:
-        json.dump(doc, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    write_bench_json(args.out, doc)
     print(f"wrote {args.out}", flush=True)
 
     if args.check and not all(criteria.values()):

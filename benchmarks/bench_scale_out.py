@@ -118,10 +118,11 @@ def sweep_partitioners(dataset, size, seed, parallelism, net_profile,
 
 def main(argv=None):
     import argparse
-    import json
     import os
     import platform
     import sys
+
+    from repro.bench.benchio import write_bench_json
 
     ap = argparse.ArgumentParser(
         description="fabric partitioner sweep gate (cut quality vs. "
@@ -196,14 +197,10 @@ def main(argv=None):
         },
     }
 
-    with open(args.out, "w") as fh:
-        json.dump(doc, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    write_bench_json(args.out, doc)
     print(f"wrote {args.out}", flush=True)
-    with open(args.sweep_out, "w") as fh:
-        json.dump({"benchmark": doc["benchmark"], "rows": rows},
-                  fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    write_bench_json(args.sweep_out,
+                     {"benchmark": doc["benchmark"], "rows": rows})
     print(f"wrote {args.sweep_out}", flush=True)
 
     if args.check and not all(doc["criteria"].values()):

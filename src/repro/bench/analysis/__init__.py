@@ -1,0 +1,90 @@
+"""Experiment analytics over recorded run manifests (docs/ANALYTICS.md).
+
+The audit layer for every perf claim in this repo: load recorded
+artifacts into one record model (:mod:`records`), aggregate seeds with
+bootstrap CIs and run paired significance tests against a baseline
+(:mod:`stats`, :mod:`aggregate`), trend the committed benchmark
+history for slow drift the per-run gate misses (:mod:`trend`), and
+render the paper's exhibits as deterministic markdown/LaTeX
+(:mod:`report`, surfaced as ``amst report``).
+"""
+
+from .aggregate import (
+    MIN_SEEDS,
+    GroupAggregate,
+    MetricComparison,
+    aggregate_group,
+    aggregate_records,
+    compare_groups,
+    group_records,
+    pair_records,
+)
+from .records import (
+    RunRecord,
+    load_bench_history,
+    load_bench_records,
+    load_run_records,
+    record_from_bench,
+    record_from_manifest,
+)
+from .report import (
+    KEY_METRICS,
+    ReportTable,
+    build_tables,
+    render_latex,
+    render_markdown,
+    render_report,
+    render_trend_markdown,
+)
+from .stats import (
+    SignificanceResult,
+    Summary,
+    bootstrap_ci,
+    geomean,
+    sign_test,
+    summarize,
+    wilcoxon_signed_rank,
+)
+from .trend import (
+    DEFAULT_DRIFT_THRESHOLD,
+    MetricTrend,
+    TrendReport,
+    detect_trends,
+    metric_series,
+)
+
+__all__ = [
+    "RunRecord",
+    "record_from_manifest",
+    "record_from_bench",
+    "load_run_records",
+    "load_bench_records",
+    "load_bench_history",
+    "Summary",
+    "SignificanceResult",
+    "summarize",
+    "bootstrap_ci",
+    "geomean",
+    "wilcoxon_signed_rank",
+    "sign_test",
+    "MIN_SEEDS",
+    "GroupAggregate",
+    "MetricComparison",
+    "group_records",
+    "aggregate_group",
+    "aggregate_records",
+    "pair_records",
+    "compare_groups",
+    "DEFAULT_DRIFT_THRESHOLD",
+    "MetricTrend",
+    "TrendReport",
+    "metric_series",
+    "detect_trends",
+    "KEY_METRICS",
+    "ReportTable",
+    "build_tables",
+    "render_markdown",
+    "render_latex",
+    "render_trend_markdown",
+    "render_report",
+]

@@ -1,0 +1,260 @@
+"""Multi-seed aggregation and baseline comparison over run records.
+
+The unit of analysis is a **group**: every record sharing a
+``(family, dataset, config fingerprint, backend)`` identity — i.e. the
+same experiment repeated under different seeds.  :func:`group_records`
+forms the groups, :func:`aggregate_group` reduces each metric to a
+:class:`~repro.bench.analysis.stats.Summary`, and
+:func:`compare_groups` runs the paired significance tests (Wilcoxon
+signed-rank + sign test) of one group against a named baseline group —
+the ``perform_aggregation_and_significance_tests`` shape of the
+analysis exemplars, minus the wandb dependency.
+
+Nondeterministic namespaces (``host.*`` wall clocks and friends) are
+excluded from aggregation by default using the same documented
+skip-prefix constant the ``runs diff`` gate uses
+(:data:`repro.obs.regress.DEFAULT_SKIP_PREFIXES`) — a perf *claim*
+should ride on modelled cycles and counters, not on whatever the CI
+host was doing that minute.  Pass ``skip_prefixes=()`` to keep
+everything.
+
+Pairing for the significance tests is by graph fingerprint when the
+two groups saw the same seeds (the common case: same datasets, config
+changed), falling back to sorted run order otherwise; unmatched
+records are dropped and counted in ``MetricComparison.unpaired``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...obs.regress import DEFAULT_SKIP_PREFIXES
+from .records import RunRecord
+from .stats import (
+    DEFAULT_ALPHA,
+    SignificanceResult,
+    Summary,
+    sign_test,
+    summarize,
+    wilcoxon_signed_rank,
+)
+
+__all__ = [
+    "MIN_SEEDS",
+    "GroupAggregate",
+    "MetricComparison",
+    "group_records",
+    "aggregate_group",
+    "aggregate_records",
+    "pair_records",
+    "compare_groups",
+]
+
+#: fewer paired seeds than this and a comparison is demoted to
+#: "insufficient seeds" — one seed is an anecdote, not a sample
+MIN_SEEDS = 2
+
+
+def _kept(name: str, skip_prefixes: tuple[str, ...]) -> bool:
+    return not any(name.startswith(p) for p in skip_prefixes)
+
+
+def group_records(
+    records,
+    *,
+    by: tuple[str, ...] = (
+        "family", "dataset", "config_fingerprint", "backend"),
+) -> dict[str, list[RunRecord]]:
+    """Group records by identity fields; keys are readable labels.
+
+    Sorted by label so every downstream table renders in one stable
+    order regardless of scan order.
+    """
+    groups: dict[tuple, list[RunRecord]] = {}
+    for rec in records:
+        key = tuple(getattr(rec, f, "") for f in by)
+        groups.setdefault(key, []).append(rec)
+    out: dict[str, list[RunRecord]] = {}
+    for key in sorted(groups):
+        label = "/".join(
+            str(part)[:8] if f.endswith("fingerprint") else str(part)
+            for f, part in zip(by, key) if part
+        ) or "(all)"
+        for rec_list in (groups[key],):
+            rec_list.sort(key=lambda r: (r.started_at, r.run_id))
+        out[label] = groups[key]
+    return out
+
+
+@dataclass(frozen=True)
+class GroupAggregate:
+    """Per-metric summaries for one group of same-experiment records."""
+
+    label: str
+    n_records: int
+    metrics: dict  # metric name -> Summary
+
+    def metric(self, name: str) -> Summary | None:
+        return self.metrics.get(name)
+
+
+def aggregate_group(
+    label: str,
+    records: list[RunRecord],
+    *,
+    metrics: list[str] | None = None,
+    skip_prefixes: tuple[str, ...] = DEFAULT_SKIP_PREFIXES,
+    alpha: float = DEFAULT_ALPHA,
+) -> GroupAggregate:
+    """Reduce one group to per-metric :class:`Summary` aggregates.
+
+    Only metrics present in **every** record of the group aggregate —
+    a metric that exists for 2 of 5 seeds describes a different
+    experiment, and averaging across the hole would fabricate data.
+    """
+    if not records:
+        return GroupAggregate(label, 0, {})
+    shared = set(records[0].metrics)
+    for rec in records[1:]:
+        shared &= set(rec.metrics)
+    if metrics is not None:
+        shared &= set(metrics)
+    out = {}
+    for name in sorted(shared):
+        if not _kept(name, skip_prefixes):
+            continue
+        out[name] = summarize(
+            [rec.metrics[name] for rec in records], alpha=alpha)
+    return GroupAggregate(label, len(records), out)
+
+
+def aggregate_records(
+    records,
+    *,
+    by: tuple[str, ...] = (
+        "family", "dataset", "config_fingerprint", "backend"),
+    metrics: list[str] | None = None,
+    skip_prefixes: tuple[str, ...] = DEFAULT_SKIP_PREFIXES,
+    alpha: float = DEFAULT_ALPHA,
+) -> list[GroupAggregate]:
+    """Group then aggregate: the one-call ``aggregate_tables`` shape."""
+    return [
+        aggregate_group(label, recs, metrics=metrics,
+                        skip_prefixes=skip_prefixes, alpha=alpha)
+        for label, recs in group_records(records, by=by).items()
+    ]
+
+
+# ----------------------------------------------------------------------
+# baseline comparison
+# ----------------------------------------------------------------------
+def pair_records(
+    base: list[RunRecord], new: list[RunRecord],
+) -> tuple[list[tuple[RunRecord, RunRecord]], int]:
+    """Pair two groups' records for the signed-rank tests.
+
+    By graph fingerprint when fingerprints are unique on both sides
+    and actually overlap (same dataset seeds re-run under a new
+    config/commit); otherwise positionally after the groups' stable
+    sort.  Returns ``(pairs, unpaired_count)``.
+    """
+    base_fp = {r.graph_fingerprint: r for r in base
+               if r.graph_fingerprint}
+    new_fp = {r.graph_fingerprint: r for r in new if r.graph_fingerprint}
+    shared = sorted(set(base_fp) & set(new_fp))
+    if (shared and len(base_fp) == len(base)
+            and len(new_fp) == len(new)):
+        pairs = [(base_fp[fp], new_fp[fp]) for fp in shared]
+        unpaired = (len(base) - len(pairs)) + (len(new) - len(pairs))
+        return pairs, unpaired
+    k = min(len(base), len(new))
+    return list(zip(base[:k], new[:k])), (
+        len(base) - k) + (len(new) - k)
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's verdict: a group against the baseline group."""
+
+    metric: str
+    n_pairs: int
+    unpaired: int
+    base_mean: float
+    new_mean: float
+    wilcoxon: SignificanceResult | None = None
+    sign: SignificanceResult | None = None
+    alpha: float = DEFAULT_ALPHA
+
+    @property
+    def rel_delta(self) -> float:
+        if self.base_mean == 0.0:
+            return 0.0 if self.new_mean == 0.0 else float("inf")
+        return (self.new_mean - self.base_mean) / abs(self.base_mean)
+
+    @property
+    def verdict(self) -> str:
+        """``insufficient seeds`` / ``significant`` / ``not significant``.
+
+        A delta backed by fewer than :data:`MIN_SEEDS` pairs gets no
+        verdict at all — that is the demotion the single-seed 10 %
+        gate needed.
+        """
+        if self.n_pairs < MIN_SEEDS:
+            return "insufficient seeds"
+        if self.wilcoxon is not None and self.wilcoxon.significant(
+            self.alpha
+        ):
+            return "significant"
+        return "not significant"
+
+
+def compare_groups(
+    base: list[RunRecord],
+    new: list[RunRecord],
+    *,
+    metrics: list[str] | None = None,
+    skip_prefixes: tuple[str, ...] = DEFAULT_SKIP_PREFIXES,
+    alpha: float = DEFAULT_ALPHA,
+) -> list[MetricComparison]:
+    """Paired significance tests of ``new`` against baseline ``base``.
+
+    Every metric shared by all paired records is tested; results come
+    back sorted by significance first (p ascending), then magnitude.
+    """
+    pairs, unpaired = pair_records(list(base), list(new))
+    out: list[MetricComparison] = []
+    if not pairs:
+        return out
+    shared = set(pairs[0][0].metrics) & set(pairs[0][1].metrics)
+    for b, n in pairs[1:]:
+        shared &= set(b.metrics) & set(n.metrics)
+    if metrics is not None:
+        shared &= set(metrics)
+    for name in sorted(shared):
+        if not _kept(name, skip_prefixes):
+            continue
+        xs = [b.metrics[name] for b, _ in pairs]
+        ys = [n.metrics[name] for _, n in pairs]
+        base_mean = sum(xs) / len(xs)
+        new_mean = sum(ys) / len(ys)
+        if len(pairs) < MIN_SEEDS:
+            out.append(MetricComparison(
+                metric=name, n_pairs=len(pairs), unpaired=unpaired,
+                base_mean=base_mean, new_mean=new_mean, alpha=alpha))
+            continue
+        out.append(MetricComparison(
+            metric=name,
+            n_pairs=len(pairs),
+            unpaired=unpaired,
+            base_mean=base_mean,
+            new_mean=new_mean,
+            wilcoxon=wilcoxon_signed_rank(ys, xs),
+            sign=sign_test(ys, xs),
+            alpha=alpha,
+        ))
+    out.sort(key=lambda c: (
+        c.wilcoxon.p_value if c.wilcoxon is not None else 2.0,
+        -abs(c.new_mean - c.base_mean),
+        c.metric,
+    ))
+    return out

@@ -1,0 +1,243 @@
+"""Uniform record model over recorded experiment artifacts.
+
+Two artifact families feed the analytics layer:
+
+* **run manifests** — ``runs/<run-id>/manifest.json`` written by the
+  telemetry layer (``repro.obs.manifest``): run identity (run id, git
+  SHA, graph/config fingerprints, UTC start stamp), the flat metric
+  map and the command summary;
+* **benchmark records** — ``benchmarks/BENCH_*.json`` written by the
+  standalone gates through :mod:`repro.bench.benchio`, each carrying a
+  ``schema_version`` / ``git_sha`` / ``generated_at`` envelope (older
+  records without the envelope still load — the fields are simply
+  empty).
+
+Both load into one :class:`RunRecord` shape so the aggregation and
+report layers never care where a number came from.  Loading is
+**forward-compatible by construction**: only known keys are read (via
+``dict.get``), unknown extra fields are ignored, and every namespace is
+optional — a manifest written by a future schema revision must degrade
+to an analyzable record, not a crash (pinned by
+``tests/analysis/test_records.py``).
+
+Benchmark *history* comes from git: :func:`load_bench_history` replays
+every committed revision of each ``BENCH_*.json`` via ``git log`` +
+``git show``, yielding one record per (family, commit) ordered oldest
+first — the series the trendline gate runs over.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ...obs.regress import flatten_numeric
+
+__all__ = [
+    "RunRecord",
+    "record_from_manifest",
+    "record_from_bench",
+    "load_run_records",
+    "load_bench_records",
+    "load_bench_history",
+    "BENCH_FAMILY_GLOB",
+]
+
+BENCH_FAMILY_GLOB = "BENCH_*.json"
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One recorded experiment, whatever artifact it came from."""
+
+    source: str  # path (or "<path>@<sha>" for a historical revision)
+    kind: str  # "manifest" | "bench"
+    family: str  # command for manifests, file stem for bench records
+    run_id: str = ""
+    git_sha: str = ""
+    started_at: str = ""  # ISO-8601 UTC when known
+    dataset: str = ""
+    backend: str = ""
+    graph_fingerprint: str = ""
+    config_fingerprint: str = ""
+    labels: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)  # flat name -> float
+    summary: dict = field(default_factory=dict)
+    #: position in a history series (commit order); -1 when standalone
+    sequence: int = -1
+
+    @property
+    def group_label(self) -> str:
+        """Human-readable aggregation-group identity."""
+        parts = [self.family or self.kind]
+        if self.dataset:
+            parts.append(self.dataset)
+        if self.backend:
+            parts.append(self.backend)
+        if self.config_fingerprint:
+            parts.append(self.config_fingerprint[:8])
+        return "/".join(parts)
+
+
+# ----------------------------------------------------------------------
+# manifests
+# ----------------------------------------------------------------------
+def record_from_manifest(data: dict, source: str = "") -> RunRecord:
+    """Build a record from one loaded manifest dict (tolerantly).
+
+    Every read is ``get``-guarded: manifests with extra unknown fields,
+    or with whole namespaces missing (no ``summary``, no ``kernels``,
+    an empty ``metrics`` map), still produce a usable record.
+    """
+    run = data.get("run") or {}
+    summary = data.get("summary") or {}
+    kernels = data.get("kernels") or {}
+    metrics = {
+        name: float(value)
+        for name, value in (data.get("metrics") or {}).items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    }
+    return RunRecord(
+        source=source or str(data.get("_path", "")),
+        kind="manifest",
+        family=str(run.get("command", "") or "run"),
+        run_id=str(run.get("run_id", "")),
+        git_sha=str(run.get("git_sha", "")),
+        started_at=str(run.get("started_at", "")),
+        dataset=str(summary.get("dataset", "")),
+        backend=str(kernels.get("backend", "")),
+        graph_fingerprint=str(run.get("graph_fingerprint", "")),
+        config_fingerprint=str(run.get("config_fingerprint", "")),
+        labels=dict(run.get("labels") or {}),
+        metrics=metrics,
+        summary=dict(summary),
+    )
+
+
+def load_run_records(runs_dir: str | Path) -> list[RunRecord]:
+    """Scan a run-manifest store into records, oldest run first.
+
+    Unreadable or torn manifests are skipped (the store writes
+    atomically, but the analysis layer should survive anything).
+    """
+    from ...obs.manifest import RunStore
+
+    return [
+        record_from_manifest(data, source=data.get("_path", ""))
+        for data in RunStore(runs_dir).list_runs()
+    ]
+
+
+# ----------------------------------------------------------------------
+# benchmark records (current + git history)
+# ----------------------------------------------------------------------
+def record_from_bench(
+    data: dict, source: str, *, family: str = "", sequence: int = -1,
+) -> RunRecord:
+    """Build a record from one ``BENCH_*.json`` document."""
+    host = data.get("host") or {}
+    return RunRecord(
+        source=source,
+        kind="bench",
+        family=family or Path(source.split("@")[0]).stem,
+        run_id=str(data.get("benchmark", "")),
+        git_sha=str(data.get("git_sha", "")),
+        started_at=str(data.get("generated_at", "")),
+        dataset=str(
+            data.get("dataset", "") if isinstance(data.get("dataset"), str)
+            else (data.get("dataset") or {}).get("key", "")),
+        backend="",
+        labels={"platform": str(host.get("platform", ""))},
+        metrics=flatten_numeric(data),
+        summary=dict(data.get("summary") or {})
+        if isinstance(data.get("summary"), dict) else {},
+        sequence=sequence,
+    )
+
+
+def load_bench_records(
+    bench_dir: str | Path, *, pattern: str = BENCH_FAMILY_GLOB,
+) -> list[RunRecord]:
+    """Current committed ``BENCH_*.json`` files, one record each."""
+    out = []
+    root = Path(bench_dir)
+    if not root.is_dir():
+        return out
+    for path in sorted(root.glob(pattern)):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(data, dict):
+            out.append(record_from_bench(data, str(path)))
+    return out
+
+
+def _git(args: list[str], cwd: Path) -> str:
+    out = subprocess.run(
+        ["git", *args], cwd=cwd, capture_output=True, text=True,
+        timeout=30,
+    )
+    if out.returncode != 0:
+        raise OSError(out.stderr.strip() or f"git {args[0]} failed")
+    return out.stdout
+
+
+def load_bench_history(
+    bench_dir: str | Path, *, pattern: str = BENCH_FAMILY_GLOB,
+) -> dict[str, list[RunRecord]]:
+    """Every committed revision of each benchmark family, oldest first.
+
+    Returns ``{family: [records]}`` with ``sequence`` numbering commit
+    order and ``git_sha`` set to the committing revision (the record's
+    own envelope SHA wins when present — it names the tree the numbers
+    were *measured* on, which may predate the committing revision).
+    Outside a git checkout this degrades to the current files, each a
+    single-point history.
+    """
+    root = Path(bench_dir)
+    histories: dict[str, list[RunRecord]] = {}
+    for path in sorted(root.glob(pattern)) if root.is_dir() else []:
+        family = path.stem
+        try:
+            log = _git(
+                ["log", "--reverse", "--format=%H", "--", path.name],
+                cwd=root,
+            )
+            shas = [s for s in log.splitlines() if s]
+            records = []
+            for seq, sha in enumerate(shas):
+                try:
+                    blob = _git(
+                        ["show", f"{sha}:./{path.name}"], cwd=root)
+                except OSError:
+                    continue  # e.g. the commit that deleted the file
+                data = json.loads(blob)
+                if not isinstance(data, dict):
+                    continue
+                rec = record_from_bench(
+                    data, f"{path}@{sha[:12]}", family=family, sequence=seq)
+                if not rec.git_sha:
+                    rec = RunRecord(**{**rec.__dict__,
+                                       "git_sha": sha[:12]})
+                records.append(rec)
+        except (OSError, subprocess.SubprocessError,
+                json.JSONDecodeError):
+            records = []
+        if not records:
+            # not a git checkout (or nothing committed): the working
+            # file alone is a one-point history
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    data = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue
+            if not isinstance(data, dict):
+                continue
+            records = [record_from_bench(
+                data, str(path), family=family, sequence=0)]
+        histories[family] = records
+    return histories

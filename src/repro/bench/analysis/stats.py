@@ -1,0 +1,271 @@
+"""Statistics for multi-seed run comparisons.
+
+Everything a perf claim needs to survive review, with nothing the
+container does not already ship: descriptive aggregates
+(:func:`summarize` — mean/median/geomean, stddev, min/max and a
+seeded-bootstrap confidence interval) and paired significance tests
+against a baseline (:func:`wilcoxon_signed_rank`, :func:`sign_test`).
+
+The Wilcoxon implementation is pure stdlib + NumPy: exact two-sided
+p-values by dynamic programming over the rank-sum distribution for
+small samples, a tie-corrected normal approximation beyond
+:data:`EXACT_N_MAX`.  When SciPy is importable the exact branch is
+cross-checked against ``scipy.stats.wilcoxon`` in the unit tests, but
+nothing at runtime requires it — the analysis layer must keep working
+on a bare ``numpy``-only install.
+
+All randomness (the bootstrap) is seeded, so every number the report
+renders is byte-stable across reruns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "EXACT_N_MAX",
+    "Summary",
+    "SignificanceResult",
+    "geomean",
+    "bootstrap_ci",
+    "summarize",
+    "wilcoxon_signed_rank",
+    "sign_test",
+]
+
+#: largest sample for which the Wilcoxon null distribution is
+#: enumerated exactly (2 * sum(ranks) states via DP; cheap up to here)
+EXACT_N_MAX = 25
+
+DEFAULT_ALPHA = 0.05
+
+
+# ----------------------------------------------------------------------
+# descriptive aggregation
+# ----------------------------------------------------------------------
+def geomean(values) -> float:
+    """Geometric mean; NaN when any value is non-positive or empty."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0 or np.any(arr <= 0):
+        return float("nan")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def bootstrap_ci(
+    values,
+    *,
+    n_boot: int = 2000,
+    alpha: float = DEFAULT_ALPHA,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap CI for the mean, deterministic under ``seed``.
+
+    Returns ``(low, high)`` at confidence ``1 - alpha``.  A singleton
+    sample has no resampling distribution: the interval collapses to
+    the point.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return (float("nan"), float("nan"))
+    if arr.size == 1:
+        return (float(arr[0]), float(arr[0]))
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_boot, arr.size))
+    means = arr[idx].mean(axis=1)
+    low, high = np.quantile(means, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return (float(low), float(high))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics of one metric over one group of runs."""
+
+    n: int
+    mean: float
+    median: float
+    geomean: float
+    stddev: float
+    min: float
+    max: float
+    ci_low: float
+    ci_high: float
+
+    def as_dict(self) -> dict:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "median": self.median,
+            "geomean": self.geomean,
+            "stddev": self.stddev,
+            "min": self.min,
+            "max": self.max,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+        }
+
+
+def summarize(
+    values, *, alpha: float = DEFAULT_ALPHA, seed: int = 0
+) -> Summary:
+    """Aggregate one metric's per-seed samples into a :class:`Summary`."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan, nan, nan, nan)
+    low, high = bootstrap_ci(arr, alpha=alpha, seed=seed)
+    return Summary(
+        n=int(arr.size),
+        mean=float(np.mean(arr)),
+        median=float(np.median(arr)),
+        geomean=geomean(arr),
+        stddev=float(np.std(arr, ddof=1)) if arr.size > 1 else 0.0,
+        min=float(np.min(arr)),
+        max=float(np.max(arr)),
+        ci_low=low,
+        ci_high=high,
+    )
+
+
+# ----------------------------------------------------------------------
+# paired significance tests
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SignificanceResult:
+    """Outcome of one paired test.
+
+    ``n`` counts the informative (non-tied) pairs the statistic was
+    computed over; ``method`` records which branch produced the
+    p-value so reports can be audited.
+    """
+
+    method: str
+    statistic: float
+    p_value: float
+    n: int
+
+    def significant(self, alpha: float = DEFAULT_ALPHA) -> bool:
+        return self.n > 0 and self.p_value < alpha
+
+    def as_dict(self) -> dict:
+        return {
+            "method": self.method,
+            "statistic": self.statistic,
+            "p_value": self.p_value,
+            "n": self.n,
+        }
+
+
+def _rank_abs(diffs: np.ndarray) -> np.ndarray:
+    """Average ranks of ``|diffs|`` (ties share their mean rank)."""
+    absd = np.abs(diffs)
+    order = np.argsort(absd, kind="stable")
+    ranks = np.empty(absd.size, dtype=float)
+    sorted_abs = absd[order]
+    i = 0
+    while i < absd.size:
+        j = i
+        while j + 1 < absd.size and sorted_abs[j + 1] == sorted_abs[i]:
+            j += 1
+        ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks
+
+
+def _wilcoxon_exact_p(ranks: np.ndarray, w_plus: float) -> float:
+    """Exact two-sided p by DP over the signed-rank sum distribution.
+
+    Ranks are doubled so tied (half-integer) average ranks become
+    integers; the DP then counts, over all 2^n sign assignments, how
+    many yield each possible ``2*W+``.
+    """
+    scaled = np.rint(ranks * 2.0).astype(int)
+    total = int(scaled.sum())
+    counts = np.zeros(total + 1, dtype=float)
+    counts[0] = 1.0
+    for r in scaled:
+        shifted = np.zeros_like(counts)
+        shifted[r:] = counts[: counts.size - r]
+        counts = counts + shifted
+    n_total = counts.sum()  # 2 ** n (float to dodge overflow for n=25)
+    w2 = int(round(w_plus * 2.0))
+    p_le = counts[: w2 + 1].sum() / n_total
+    p_ge = counts[w2:].sum() / n_total
+    return float(min(1.0, 2.0 * min(p_le, p_ge)))
+
+
+def wilcoxon_signed_rank(x, y=None) -> SignificanceResult:
+    """Two-sided Wilcoxon signed-rank test, pure stdlib + NumPy.
+
+    ``x`` is either the paired differences (``y is None``) or the first
+    sample of the pair.  Zero differences are dropped (Wilcoxon's
+    original treatment); if every pair is tied the result is the
+    canonical "nothing to test": statistic 0, ``p = 1.0``, ``n = 0`` —
+    which is exactly what the paired-identical acceptance case
+    requires.
+    """
+    dx = np.asarray(list(x), dtype=float)
+    if y is not None:
+        dy = np.asarray(list(y), dtype=float)
+        if dx.shape != dy.shape:
+            raise ValueError(
+                f"paired samples differ in length: {dx.size} vs {dy.size}")
+        diffs = dx - dy
+    else:
+        diffs = dx
+    diffs = diffs[diffs != 0.0]
+    n = int(diffs.size)
+    if n == 0:
+        return SignificanceResult("wilcoxon-exact", 0.0, 1.0, 0)
+
+    ranks = _rank_abs(diffs)
+    w_plus = float(ranks[diffs > 0].sum())
+    w_minus = float(ranks[diffs < 0].sum())
+    statistic = min(w_plus, w_minus)
+
+    if n <= EXACT_N_MAX:
+        p = _wilcoxon_exact_p(ranks, w_plus)
+        return SignificanceResult("wilcoxon-exact", statistic, p, n)
+
+    # Normal approximation with tie correction (n > EXACT_N_MAX).
+    mean = n * (n + 1) / 4.0
+    _, tie_counts = np.unique(np.abs(diffs), return_counts=True)
+    tie_term = float(np.sum(tie_counts**3 - tie_counts)) / 48.0
+    var = n * (n + 1) * (2 * n + 1) / 24.0 - tie_term
+    if var <= 0:
+        return SignificanceResult("wilcoxon-normal", statistic, 1.0, n)
+    # 0.5 continuity correction toward the mean.
+    z = (w_plus - mean - 0.5 * math.copysign(1.0, w_plus - mean)) \
+        / math.sqrt(var)
+    p = 2.0 * (1.0 - 0.5 * (1.0 + math.erf(abs(z) / math.sqrt(2.0))))
+    return SignificanceResult(
+        "wilcoxon-normal", statistic, float(min(1.0, p)), n)
+
+
+def sign_test(x, y=None) -> SignificanceResult:
+    """Two-sided exact sign test (binomial, ties dropped).
+
+    Distribution-free companion to Wilcoxon: only the *direction* of
+    each paired difference counts, so one outlier seed cannot buy
+    significance on its own.
+    """
+    dx = np.asarray(list(x), dtype=float)
+    if y is not None:
+        dy = np.asarray(list(y), dtype=float)
+        if dx.shape != dy.shape:
+            raise ValueError(
+                f"paired samples differ in length: {dx.size} vs {dy.size}")
+        diffs = dx - dy
+    else:
+        diffs = dx
+    n_pos = int(np.sum(diffs > 0))
+    n_neg = int(np.sum(diffs < 0))
+    n = n_pos + n_neg
+    if n == 0:
+        return SignificanceResult("sign-exact", 0.0, 1.0, 0)
+    k = min(n_pos, n_neg)
+    tail = sum(math.comb(n, i) for i in range(k + 1)) * 0.5**n
+    return SignificanceResult(
+        "sign-exact", float(k), float(min(1.0, 2.0 * tail)), n)

@@ -15,6 +15,9 @@ Subcommands::
     amst client submit --kind run --graph FP    # async job submission
     amst runs list                              # recorded telemetry runs
     amst runs diff A B                          # flag metric regressions
+    amst runs diff A1,A2 B1,B2 --significance   # paired Wilcoxon verdict
+    amst report --out report.md                 # render experiment report
+    amst report --check tests/golden/analysis/report.md
     amst datasets                               # print Table I
     amst resources                              # print Fig 16
 
@@ -474,12 +477,60 @@ def _cmd_runs_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _histogram_summaries(manifest_path, data: dict) -> dict:
+    """p50/p95/p99 per histogram from the run's ``metrics.json``.
+
+    Tolerant by design: a missing/torn metrics file, an unknown files
+    inventory or a malformed histogram snapshot each yield ``{}`` or
+    skip the entry — ``runs show`` must render any manifest it can
+    read, including ones from future schema revisions.
+    """
+    import json
+
+    from .obs import Histogram
+
+    name = (data.get("files") or {}).get("metrics_json", "metrics.json")
+    metrics_path = manifest_path.parent / name
+    if not metrics_path.is_file():
+        return {}
+    try:
+        with open(metrics_path, encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return {}
+    out = {}
+    for hname, snap in sorted(
+        (snapshot.get("histograms") or {}).items()
+    ):
+        try:
+            quantiles = snap.get("quantiles")
+            if quantiles is None:  # pre-quantile snapshot: estimate
+                hist = Histogram(tuple(snap["buckets"]))
+                hist.merge(snap)
+                if hist.count == 0:
+                    continue
+                quantiles = hist.summary_quantiles()
+            out[hname] = {
+                "count": snap.get("count", 0),
+                "sum": snap.get("sum", 0.0),
+                **{k: quantiles[k] for k in ("p50", "p95", "p99")},
+            }
+        except (KeyError, TypeError, ValueError):
+            continue
+    return out
+
+
 def _cmd_runs_show(args: argparse.Namespace) -> int:
     import json
 
     from .obs import RunStore
 
-    data = RunStore(args.runs_dir).load_manifest(args.ref)
+    store = RunStore(args.runs_dir)
+    path = store.resolve(args.ref)
+    data = store.load_manifest(args.ref)
+    histograms = _histogram_summaries(path, data)
+    if histograms:
+        data["histograms"] = histograms
     print(json.dumps(data, indent=2))
     return 0
 
@@ -488,11 +539,22 @@ def _cmd_runs_diff(args: argparse.Namespace) -> int:
     """Flag metric regressions between two recorded runs.
 
     Exit 1 when any shared metric moved by at least ``--threshold``
-    (relative), which is what the CI regression gate rides on.
+    (relative), which is what the CI regression gate rides on.  With
+    ``--significance``, each side is a comma-separated list of run
+    references (one per seed) and the verdict comes from paired
+    Wilcoxon/sign tests instead of a single-run delta — a single seed
+    per side is demoted to "insufficient seeds", never a hard verdict.
     """
     from .obs import RunStore, compare_json_files
 
     store = RunStore(args.runs_dir)
+    base_refs = [r for r in args.base.split(",") if r]
+    new_refs = [r for r in args.new.split(",") if r]
+    if args.significance:
+        return _runs_diff_significance(store, base_refs, new_refs, args)
+    if len(base_refs) > 1 or len(new_refs) > 1:
+        print("multiple runs per side require --significance")
+        return 2
     base = store.resolve(args.base)
     new = store.resolve(args.new)
     skip = () if args.all_metrics else None
@@ -504,6 +566,138 @@ def _cmd_runs_diff(args: argparse.Namespace) -> int:
     print(f"new : {new}")
     print(report.format())
     return 0 if report.ok else 1
+
+
+def _runs_diff_significance(
+    store, base_refs: list[str], new_refs: list[str],
+    args: argparse.Namespace,
+) -> int:
+    """Multi-seed significance-tested diff (docs/ANALYTICS.md)."""
+    from .bench.analysis import MIN_SEEDS, compare_groups
+    from .bench.analysis.records import record_from_manifest
+    from .obs import DEFAULT_SKIP_PREFIXES
+
+    def _load(refs):
+        return [
+            record_from_manifest(store.load_manifest(ref), source=ref)
+            for ref in refs
+        ]
+
+    base, new = _load(base_refs), _load(new_refs)
+    skip = () if args.all_metrics else DEFAULT_SKIP_PREFIXES
+    comps = compare_groups(base, new, skip_prefixes=skip,
+                           alpha=args.alpha)
+    n_pairs = comps[0].n_pairs if comps else min(len(base), len(new))
+    print(f"base: {len(base)} run(s); new: {len(new)} run(s); "
+          f"{n_pairs} pair(s)")
+    if skip:
+        print(f"skipped namespaces: "
+              f"{', '.join(p + '*' for p in skip)}")
+    if n_pairs < MIN_SEEDS:
+        print(f"insufficient seeds ({n_pairs} pair(s), need "
+              f">= {MIN_SEEDS}): no verdict — record more seeds per "
+              f"side; deltas below are informational only")
+        for c in sorted(comps, key=lambda c: -abs(c.rel_delta))[:10]:
+            pct = ("new" if c.rel_delta == float("inf")
+                   else f"{100 * c.rel_delta:+.1f}%")
+            print(f"  ?? {c.metric}: {c.base_mean!r} -> "
+                  f"{c.new_mean!r} ({pct})")
+        return 0
+    flagged = [
+        c for c in comps
+        if c.verdict == "significant"
+        and (c.rel_delta == float("inf")
+             or abs(c.rel_delta) >= args.threshold)
+    ]
+    print(f"compared {len(comps)} metric(s) at alpha {args.alpha:g}, "
+          f"threshold {100 * args.threshold:.0f}%: "
+          f"{len(flagged)} significant")
+    for c in flagged:
+        pct = ("new" if c.rel_delta == float("inf")
+               else f"{100 * c.rel_delta:+.1f}%")
+        print(f"  !! {c.metric}: {c.base_mean!r} -> {c.new_mean!r} "
+              f"({pct}, wilcoxon p={c.wilcoxon.p_value:.4f}, "
+              f"sign p={c.sign.p_value:.4f}, n={c.n_pairs})")
+    return 1 if flagged else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render (or verify) the experiment report (docs/ANALYTICS.md)."""
+    from pathlib import Path
+
+    from .bench.analysis import (
+        detect_trends,
+        load_bench_history,
+        load_bench_records,
+        load_run_records,
+        render_report,
+        render_trend_markdown,
+    )
+
+    records = []
+    if args.runs_dir:
+        records.extend(load_run_records(args.runs_dir))
+    if args.bench_dir:
+        records.extend(load_bench_records(args.bench_dir))
+    markdown = render_report(records, fmt="md", baseline=args.baseline,
+                             alpha=args.alpha)
+    latex = render_report(records, fmt="latex", baseline=args.baseline,
+                          alpha=args.alpha)
+    if args.trend and not args.check:
+        # git history grows every commit, so the trend section can
+        # never be byte-stable — goldens stay trend-free by design
+        trends = detect_trends(
+            load_bench_history(args.bench_dir or "benchmarks"),
+            threshold=args.trend_threshold)
+        markdown += "\n" + render_trend_markdown(trends) + "\n"
+
+    if args.check:
+        golden = Path(args.check)
+        failures = []
+        for label, rendered, path in (
+            ("markdown", markdown, golden),
+            ("latex", latex, golden.with_suffix(".tex")),
+        ):
+            if not path.is_file():
+                if label == "markdown":
+                    print(f"golden report missing: {path}")
+                    return 1
+                continue  # LaTeX golden is optional
+            blessed = path.read_text(encoding="utf-8")
+            if rendered != blessed:
+                failures.append((label, path, blessed, rendered))
+        for label, path, blessed, rendered in failures:
+            old, new = blessed.splitlines(), rendered.splitlines()
+            line = next(
+                (i for i, (a, b) in enumerate(zip(old, new)) if a != b),
+                min(len(old), len(new)))
+            print(f"{label} report drifted from {path} "
+                  f"(first difference at line {line + 1}):")
+            if line < len(old):
+                print(f"  golden  : {old[line]}")
+            if line < len(new):
+                print(f"  rendered: {new[line]}")
+        if failures:
+            print("re-bless with: amst report --out <golden.md> "
+                  "--tex-out <golden.tex>")
+            return 1
+        print(f"report matches {golden} (byte-identical)")
+        return 0
+
+    wrote = False
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(markdown, encoding="utf-8")
+        print(f"wrote {args.out}")
+        wrote = True
+    if args.tex_out:
+        Path(args.tex_out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.tex_out).write_text(latex, encoding="utf-8")
+        print(f"wrote {args.tex_out}")
+        wrote = True
+    if not wrote:
+        print(markdown if args.format == "md" else latex, end="")
+    return 0
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -830,7 +1024,54 @@ def build_parser() -> argparse.ArgumentParser:
     ud.add_argument("--all-metrics", action="store_true",
                     help="also compare the nondeterministic host./"
                          "runcache./shm. namespaces")
+    ud.add_argument("--significance", action="store_true",
+                    help="treat base/new as comma-separated multi-seed "
+                         "run lists and verdict via paired Wilcoxon + "
+                         "sign tests (needs >= 2 seeds per side)")
+    ud.add_argument("--alpha", type=float, default=0.05,
+                    help="significance level for --significance "
+                         "(default 0.05)")
     ud.set_defaults(func=_cmd_runs_diff)
+
+    pp = sub.add_parser(
+        "report",
+        help="render the experiment report from recorded manifests",
+        description="Render the paper's exhibit tables (Table I "
+                    "datasets, Fig 10 cache, Fig 13 ablation, Fig 14 "
+                    "scaling) as deterministic markdown/LaTeX from "
+                    "recorded run manifests and BENCH_*.json records "
+                    "(docs/ANALYTICS.md).",
+    )
+    pp.add_argument("--runs-dir", default="runs",
+                    help="run-manifest store (default runs/); pass '' "
+                         "to skip")
+    pp.add_argument("--bench-dir", default="benchmarks",
+                    help="directory holding BENCH_*.json (default "
+                         "benchmarks/); pass '' to skip")
+    pp.add_argument("--baseline", default=None,
+                    help="baseline group label (exact or substring) "
+                         "for the significance-tested comparison table")
+    pp.add_argument("--format", choices=("md", "latex"), default="md",
+                    help="stdout format when no --out/--tex-out given")
+    pp.add_argument("--out", default=None,
+                    help="write the markdown report here")
+    pp.add_argument("--tex-out", default=None,
+                    help="write the LaTeX tables here")
+    pp.add_argument("--check", default=None, metavar="GOLDEN",
+                    help="byte-compare against a committed golden "
+                         "markdown report (and its sibling .tex if "
+                         "present); exit 1 on drift")
+    pp.add_argument("--trend", action="store_true",
+                    help="append the git-history trendline section "
+                         "(excluded from --check goldens by design)")
+    pp.add_argument("--trend-threshold", type=float,
+                    default=0.10,
+                    help="cumulative monotone drift that gets flagged "
+                         "(default 0.10)")
+    pp.add_argument("--alpha", type=float, default=0.05,
+                    help="significance level for comparison tables "
+                         "(default 0.05)")
+    pp.set_defaults(func=_cmd_report)
 
     pt = sub.add_parser("trace", help="per-iteration execution profile")
     pt.add_argument("--dataset", default="RC")

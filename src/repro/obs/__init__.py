@@ -28,6 +28,7 @@ from .metrics import Histogram, MetricsRegistry, prometheus_name
 from .regress import (
     DEFAULT_SKIP_PREFIXES,
     DEFAULT_THRESHOLD,
+    SKIP_PREFIX_REASONS,
     MetricDelta,
     RegressionReport,
     compare_json_files,
@@ -73,4 +74,5 @@ __all__ = [
     "flatten_numeric",
     "DEFAULT_SKIP_PREFIXES",
     "DEFAULT_THRESHOLD",
+    "SKIP_PREFIX_REASONS",
 ]

@@ -77,13 +77,51 @@ class Histogram:
                 return
         self.counts[-1] += 1
 
-    def snapshot(self) -> dict:
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile by linear interpolation within buckets.
+
+        The Prometheus ``histogram_quantile`` estimate: find the bucket
+        the rank falls in, interpolate between its bounds (the first
+        bucket interpolates from 0).  Observations in the +Inf overflow
+        bucket clamp to the largest finite bound — a bounded lie that
+        reads as "at least this much", same as Prometheus.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        cumulative = 0
+        for i, bound in enumerate(self.buckets):
+            prev_cum = cumulative
+            cumulative += self.counts[i]
+            if cumulative >= rank:
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                in_bucket = self.counts[i]
+                if in_bucket == 0:
+                    return bound
+                frac = (rank - prev_cum) / in_bucket
+                return lower + (bound - lower) * min(max(frac, 0.0), 1.0)
+        return self.buckets[-1]
+
+    def summary_quantiles(self) -> dict:
+        """The p50/p95/p99 summary the JSON export and CLI surface."""
         return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def snapshot(self) -> dict:
+        snap = {
             "buckets": list(self.buckets),
             "counts": list(self.counts),
             "sum": self.total,
             "count": self.count,
         }
+        if self.count:
+            snap["quantiles"] = self.summary_quantiles()
+        return snap
 
     def merge(self, snap: dict) -> None:
         if tuple(snap["buckets"]) != self.buckets:

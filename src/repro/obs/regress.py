@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 __all__ = [
+    "SKIP_PREFIX_REASONS",
     "DEFAULT_SKIP_PREFIXES",
     "DEFAULT_THRESHOLD",
     "MetricDelta",
@@ -31,18 +32,28 @@ __all__ = [
     "flatten_numeric",
 ]
 
-#: nondeterministic-by-construction namespaces, skipped unless asked
-#: (kernel.time.* is wall-clock per kernel; kernel.dispatch.* counters
-#: are deterministic and stay diffable; serve.* mixes latency
-#: histograms and uptime gauges with whatever job mix clients sent;
-#: fabric.* gauges come from the scale-out fabric whose card/worker
-#: wall clocks vary run-to-run even though the forest never does;
-#: incremental.* counters depend on the update stream a session
-#: happened to apply, not on any fixed workload)
-DEFAULT_SKIP_PREFIXES: tuple[str, ...] = (
-    "host.", "runcache.", "shm.", "kernel.time.", "serve.", "fabric.",
-    "incremental.",
-)
+#: THE canonical list of nondeterministic-by-construction metric
+#: namespaces, skipped by every diff/aggregation surface unless asked
+#: (``amst runs diff``, the CI regression gate, and the
+#: ``repro.bench.analysis`` aggregation layer all consume this — new
+#: namespaces land HERE, with a reason, never inline at a call site;
+#: the exact contents are pinned by ``tests/obs/test_skip_prefixes``).
+#: ``kernel.dispatch.*`` counters stay diffable on purpose: unlike the
+#: ``kernel.time.*`` wall clocks they are deterministic.
+SKIP_PREFIX_REASONS: dict[str, str] = {
+    "host.": "host wall-clock timers; vary with machine load",
+    "runcache.": "hit/miss mix depends on what earlier runs cached",
+    "shm.": "publish/attach counts depend on pool worker scheduling",
+    "kernel.time.": "per-kernel wall clock (dispatch counts stay "
+                    "diffable)",
+    "serve.": "latency histograms + uptime under an arbitrary job mix",
+    "fabric.": "card/worker wall clocks vary even though the forest "
+               "never does",
+    "incremental.": "depends on the update stream a session applied, "
+                    "not a fixed workload",
+}
+
+DEFAULT_SKIP_PREFIXES: tuple[str, ...] = tuple(SKIP_PREFIX_REASONS)
 
 DEFAULT_THRESHOLD = 0.10
 
@@ -77,6 +88,8 @@ class RegressionReport:
     flagged: list[MetricDelta] = field(default_factory=list)
     only_base: list[str] = field(default_factory=list)
     only_new: list[str] = field(default_factory=list)
+    #: prefix -> number of metric names it excluded (either side)
+    skipped: dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -88,6 +101,11 @@ class RegressionReport:
             f"{100.0 * self.threshold:.0f}%: "
             f"{len(self.flagged)} flagged"
         ]
+        if self.skipped:
+            skipped = ", ".join(
+                f"{prefix}* ({count})"
+                for prefix, count in sorted(self.skipped.items()))
+            lines.append(f"  skipped namespaces: {skipped}")
         for delta in self.flagged:
             lines.append(f"  !! {delta}")
         if self.only_base:
@@ -120,6 +138,13 @@ def compare_metrics(
 
     def _kept(name: str) -> bool:
         return not any(name.startswith(p) for p in skip_prefixes)
+
+    for name in set(base) | set(new):  # count distinct skipped names
+        for prefix in skip_prefixes:
+            if name.startswith(prefix):
+                report.skipped[prefix] = report.skipped.get(
+                    prefix, 0) + 1
+                break
 
     base_keys = {k for k in base if _kept(k)}
     new_keys = {k for k in new if _kept(k)}

@@ -1,0 +1,148 @@
+"""Grouping, multi-seed aggregation and baseline comparison."""
+
+import pytest
+
+from repro.bench.analysis.aggregate import (
+    MIN_SEEDS,
+    aggregate_group,
+    aggregate_records,
+    compare_groups,
+    group_records,
+    pair_records,
+)
+from repro.bench.analysis.records import RunRecord
+
+
+def rec(seed, config="cfgA", metrics=None, dataset="EF",
+        family="run"):
+    return RunRecord(
+        source=f"s{seed}", kind="manifest", family=family,
+        run_id=f"run-{config}-s{seed}",
+        started_at=f"2026-08-08T00:00:0{seed}Z",
+        dataset=dataset, backend="numpy",
+        graph_fingerprint=f"graph{seed}",
+        config_fingerprint=config,
+        metrics=metrics or {},
+    )
+
+
+def group(config, values, metric="sim.cycles.total", **extra):
+    return [rec(i, config=config,
+                metrics={metric: v, **extra}) for i, v in
+            enumerate(values)]
+
+
+class TestGrouping:
+    def test_groups_by_identity_fields(self):
+        recs = group("cfgA", [1.0, 2.0]) + group("cfgB", [3.0])
+        groups = group_records(recs)
+        assert len(groups) == 2
+        sizes = sorted(len(v) for v in groups.values())
+        assert sizes == [1, 2]
+
+    def test_labels_truncate_fingerprints(self):
+        recs = group("0123456789abcdef", [1.0])
+        (label,) = group_records(recs)
+        assert "01234567" in label and "89abcdef" not in label
+
+    def test_members_sorted_by_start_time(self):
+        recs = list(reversed(group("cfgA", [1.0, 2.0, 3.0])))
+        (members,) = group_records(recs).values()
+        assert [r.run_id for r in members] == [
+            "run-cfgA-s0", "run-cfgA-s1", "run-cfgA-s2"]
+
+
+class TestAggregation:
+    def test_only_metrics_present_in_every_record(self):
+        recs = group("cfgA", [1.0, 2.0, 3.0])
+        # one record grows an extra metric: must not aggregate
+        recs[0] = rec(0, metrics={"sim.cycles.total": 1.0,
+                                  "only.in.one": 9.0})
+        agg = aggregate_group("g", recs)
+        assert "sim.cycles.total" in agg.metrics
+        assert "only.in.one" not in agg.metrics
+        assert agg.metrics["sim.cycles.total"].mean == pytest.approx(
+            2.0)
+
+    def test_skip_prefixes_excluded_by_default(self):
+        recs = group("cfgA", [1.0, 2.0], **{"host.wall_s": 5.0})
+        agg = aggregate_group("g", recs)
+        assert "host.wall_s" not in agg.metrics
+        kept = aggregate_group("g", recs, skip_prefixes=())
+        assert "host.wall_s" in kept.metrics
+
+    def test_aggregate_records_one_per_group(self):
+        recs = group("cfgA", [1.0, 2.0]) + group("cfgB", [3.0, 4.0])
+        aggs = aggregate_records(recs)
+        assert [a.n_records for a in aggs] == [2, 2]
+
+
+class TestPairing:
+    def test_fingerprint_pairing_over_position(self):
+        base = group("cfgA", [1.0, 2.0, 3.0])
+        new = list(reversed(group("cfgB", [10.0, 20.0, 30.0])))
+        pairs, unpaired = pair_records(base, new)
+        assert unpaired == 0
+        for b, n in pairs:  # matched by shared graph fingerprint
+            assert b.graph_fingerprint == n.graph_fingerprint
+
+    def test_positional_fallback_when_fingerprints_disjoint(self):
+        base = group("cfgA", [1.0, 2.0])
+        new = [rec(7, config="cfgB",
+                   metrics={"sim.cycles.total": 9.0}),
+               rec(8, config="cfgB",
+                   metrics={"sim.cycles.total": 9.5}),
+               rec(9, config="cfgB",
+                   metrics={"sim.cycles.total": 9.9})]
+        pairs, unpaired = pair_records(base, new)
+        assert len(pairs) == 2 and unpaired == 1
+
+
+class TestCompareGroups:
+    def test_min_seeds_pin(self):
+        # the demotion contract rides on this exact value
+        assert MIN_SEEDS == 2
+
+    def test_single_pair_demoted_to_insufficient_seeds(self):
+        comps = compare_groups(group("cfgA", [100.0]),
+                               group("cfgB", [200.0]))
+        (c,) = [c for c in comps if c.metric == "sim.cycles.total"]
+        assert c.n_pairs == 1
+        assert c.verdict == "insufficient seeds"
+        assert c.wilcoxon is None and c.sign is None
+        assert c.rel_delta == pytest.approx(1.0)
+
+    def test_identical_groups_not_significant(self):
+        vals = [100.0, 101.0, 99.0, 100.5, 99.5, 100.2]
+        comps = compare_groups(group("cfgA", vals),
+                               group("cfgB", vals))
+        (c,) = [c for c in comps if c.metric == "sim.cycles.total"]
+        assert c.verdict == "not significant"
+        assert c.wilcoxon.p_value == 1.0
+
+    def test_consistent_shift_significant(self):
+        vals = [100.0, 101.0, 99.0, 100.5, 99.5, 100.2]
+        comps = compare_groups(
+            group("cfgA", vals),
+            group("cfgB", [v * 1.2 for v in vals]))
+        (c,) = [c for c in comps if c.metric == "sim.cycles.total"]
+        assert c.verdict == "significant"
+        assert c.rel_delta == pytest.approx(0.2, rel=1e-6)
+        assert c.sign.significant(0.05)
+
+    def test_results_sorted_by_p_value(self):
+        vals = [100.0, 101.0, 99.0, 100.5, 99.5, 100.2]
+        base = [rec(i, metrics={"m.shifted": v, "m.same": v})
+                for i, v in enumerate(vals)]
+        new = [rec(i, config="cfgB",
+                   metrics={"m.shifted": v * 1.2, "m.same": v})
+               for i, v in enumerate(vals)]
+        comps = compare_groups(base, new)
+        assert [c.metric for c in comps] == ["m.shifted", "m.same"]
+
+    def test_zero_baseline_delta_is_inf(self):
+        comps = compare_groups(
+            group("cfgA", [0.0, 0.0, 0.0]),
+            group("cfgB", [1.0, 1.0, 1.0]))
+        (c,) = comps
+        assert c.rel_delta == float("inf")

@@ -1,0 +1,101 @@
+"""Record loading: manifests, bench files, git history, forward compat."""
+
+import json
+from pathlib import Path
+
+from repro.bench.analysis.records import (
+    load_bench_history,
+    load_bench_records,
+    load_run_records,
+    record_from_bench,
+    record_from_manifest,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+FIXTURE_RUNS = REPO / "tests" / "golden" / "analysis" / "runs"
+SEED_MANIFEST = REPO / "tests" / "golden" / "seed_manifest.json"
+
+
+class TestManifestRecords:
+    def test_seed_manifest_loads(self):
+        with open(SEED_MANIFEST, encoding="utf-8") as fh:
+            rec = record_from_manifest(json.load(fh), source="seed")
+        assert rec.kind == "manifest"
+        assert rec.dataset
+        assert rec.graph_fingerprint and rec.config_fingerprint
+        assert rec.metrics  # numeric metrics survived
+        assert all(isinstance(v, float) for v in rec.metrics.values())
+
+    def test_unknown_extra_fields_tolerated(self):
+        with open(SEED_MANIFEST, encoding="utf-8") as fh:
+            data = json.load(fh)
+        data["future_namespace"] = {"nested": {"stuff": [1, 2, 3]}}
+        data["run"]["future_field"] = "xyz"
+        data["metrics"]["weird.new.metric"] = 42
+        data["metrics"]["non.numeric"] = "a string"
+        data["metrics"]["a.bool"] = True
+        rec = record_from_manifest(data, source="future")
+        assert rec.metrics["weird.new.metric"] == 42.0
+        assert "non.numeric" not in rec.metrics
+        assert "a.bool" not in rec.metrics  # bools are not samples
+
+    def test_missing_namespaces_tolerated(self):
+        # a manifest stripped to nothing must still produce a record
+        rec = record_from_manifest({}, source="empty")
+        assert rec.kind == "manifest"
+        assert rec.family == "run"  # sensible default
+        assert rec.metrics == {} and rec.summary == {}
+        assert rec.group_label  # never empty
+
+    def test_fixture_store_loads_all_runs(self):
+        recs = load_run_records(FIXTURE_RUNS)
+        assert len(recs) == 12  # 6 seeds x 2 configs
+        assert {r.dataset for r in recs} == {"EF"}
+        assert all(r.git_sha == "fixture0" for r in recs)
+        # two distinct config fingerprints, each with 6 seeds
+        fps = {}
+        for r in recs:
+            fps.setdefault(r.config_fingerprint, []).append(r)
+        assert sorted(len(v) for v in fps.values()) == [6, 6]
+
+
+class TestBenchRecords:
+    def test_dataset_str_and_dict_forms(self):
+        a = record_from_bench({"dataset": "CF"}, "BENCH_x.json")
+        b = record_from_bench(
+            {"dataset": {"key": "RC", "size": 1.0}}, "BENCH_y.json")
+        assert a.dataset == "CF" and b.dataset == "RC"
+        assert a.family == "BENCH_x"
+
+    def test_missing_envelope_tolerated(self):
+        rec = record_from_bench({"some": {"num": 3}}, "BENCH_old.json")
+        assert rec.git_sha == "" and rec.started_at == ""
+        assert rec.metrics["some.num"] == 3.0
+
+    def test_committed_bench_files_load(self):
+        recs = load_bench_records(REPO / "benchmarks")
+        families = {r.family for r in recs}
+        assert "BENCH_baseline" in families
+        assert all(r.git_sha for r in recs)  # envelopes are in place
+
+    def test_missing_dir_is_empty(self, tmp_path):
+        assert load_bench_records(tmp_path / "nope") == []
+
+
+class TestBenchHistory:
+    def test_history_replays_commits_in_order(self):
+        hist = load_bench_history(REPO / "benchmarks")
+        assert "BENCH_baseline" in hist
+        for family, recs in hist.items():
+            assert recs, family
+            assert [r.sequence for r in recs] == sorted(
+                r.sequence for r in recs)
+            assert all(r.git_sha for r in recs)
+
+    def test_non_git_dir_degrades_to_current_file(self, tmp_path):
+        doc = {"benchmark": "x", "vals": {"a": 1.0}}
+        (tmp_path / "BENCH_solo.json").write_text(json.dumps(doc))
+        hist = load_bench_history(tmp_path)
+        assert list(hist) == ["BENCH_solo"]
+        assert len(hist["BENCH_solo"]) == 1
+        assert hist["BENCH_solo"][0].sequence == 0

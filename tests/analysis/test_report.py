@@ -1,0 +1,113 @@
+"""Deterministic report rendering and the committed golden."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.analysis import (
+    load_bench_records,
+    load_run_records,
+    render_report,
+    render_trend_markdown,
+)
+from repro.bench.analysis.report import _pick_baseline, _tex_escape
+from repro.bench.analysis.trend import TrendReport
+
+REPO = Path(__file__).resolve().parents[2]
+GOLDEN_DIR = REPO / "tests" / "golden" / "analysis"
+
+
+def fixture_records():
+    return load_run_records(GOLDEN_DIR / "runs")
+
+
+class TestDeterminism:
+    def test_render_is_byte_stable(self):
+        recs = fixture_records()
+        a = render_report(recs, fmt="md", baseline="base")
+        b = render_report(list(reversed(recs)), fmt="md",
+                          baseline="base")
+        assert a == b  # input order must not matter
+        assert render_report(recs, fmt="latex", baseline="base") == \
+            render_report(recs, fmt="latex", baseline="base")
+
+    def test_no_timestamps_in_body(self):
+        md = render_report(fixture_records(), fmt="md",
+                           baseline="base")
+        # run start stamps (and anything else wall-clock shaped) must
+        # never leak into the golden-checked body
+        assert "T0" not in md and "T1" not in md and "T2" not in md
+
+
+class TestGolden:
+    def test_markdown_matches_committed_golden(self):
+        rendered = render_report(fixture_records(), fmt="md",
+                                 baseline="base")
+        blessed = (GOLDEN_DIR / "report.md").read_text(
+            encoding="utf-8")
+        assert rendered == blessed, (
+            "report drifted from the committed golden; if intended, "
+            "re-bless per tests/golden/analysis/make_fixtures.py")
+
+    def test_latex_matches_committed_golden(self):
+        rendered = render_report(fixture_records(), fmt="latex",
+                                 baseline="base")
+        blessed = (GOLDEN_DIR / "report.tex").read_text(
+            encoding="utf-8")
+        assert rendered == blessed
+
+    def test_golden_demonstrates_both_verdicts(self):
+        # the committed exhibit itself proves the acceptance criteria:
+        # a real shift reads significant, a paired-identical metric
+        # does not
+        blessed = (GOLDEN_DIR / "report.md").read_text(
+            encoding="utf-8")
+        assert "| significant |" in blessed
+        assert "| not significant |" in blessed
+
+
+class TestBenchSections:
+    def test_bench_records_render_fig14_and_gates(self):
+        md = render_report(load_bench_records(REPO / "benchmarks"),
+                           fmt="md")
+        assert "Fig 14" in md
+        assert "partitioner" in md.lower()
+        assert "Benchmark gates on record" in md
+
+    def test_empty_records_still_render_scaffolding(self):
+        md = render_report([], fmt="md")
+        assert "no recorded data" in md
+        assert "Table 1" in md
+
+
+class TestBaselinePicker:
+    def test_exact_then_substring_then_run_id(self):
+        labels = ["run/EF/aaaa", "run/EF/bbbb"]
+        assert _pick_baseline(labels, "run/EF/aaaa") == "run/EF/aaaa"
+        assert _pick_baseline(labels, "bbbb") == "run/EF/bbbb"
+        groups = {lb: recs for lb, recs in zip(
+            labels, ([], []))}
+        with pytest.raises(ValueError, match="matches no group"):
+            _pick_baseline(labels, "nope", groups)
+
+    def test_run_id_matching(self):
+        recs = fixture_records()
+        from repro.bench.analysis import group_records
+
+        groups = group_records(recs)
+        label = _pick_baseline(sorted(groups), "fixture-base", groups)
+        assert any(r.run_id.startswith("fixture-base")
+                   for r in groups[label])
+
+    def test_no_baseline_defaults_to_sorted_first(self):
+        assert _pick_baseline(["b", "a"], None) == "a"
+        assert _pick_baseline(["only"], None) is None
+
+
+class TestTrendSection:
+    def test_trend_markdown_renders(self):
+        md = render_trend_markdown(TrendReport(threshold=0.1))
+        assert "Trendlines" in md
+
+    def test_tex_escape(self):
+        assert _tex_escape("a_b%c#d") == r"a\_b\%c\#d"

@@ -1,0 +1,150 @@
+"""Statistical machinery: pure-Python tests + scipy cross-checks.
+
+The acceptance criteria of the analytics PR live here: paired-identical
+samples must come out *not* significant, a consistent shift across
+enough seeds must come out significant at α=0.05, and the pure
+implementation must agree with scipy (an existing dependency, used
+only as an oracle — the implementation itself imports neither scipy
+nor anything beyond the stdlib and numpy).
+"""
+
+import math
+
+import pytest
+
+from repro.bench.analysis.stats import (
+    EXACT_N_MAX,
+    SignificanceResult,
+    bootstrap_ci,
+    geomean,
+    sign_test,
+    summarize,
+    wilcoxon_signed_rank,
+)
+
+
+class TestWilcoxon:
+    def test_paired_identical_not_significant(self):
+        x = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        r = wilcoxon_signed_rank(x, x)
+        assert r.p_value == 1.0
+        assert r.n == 0  # all differences are zero-dropped
+        assert not r.significant(0.05)
+
+    def test_consistent_shift_significant_at_6_seeds(self):
+        base = [100.0, 102.0, 98.0, 101.0, 99.0, 100.5]
+        worse = [v * 1.15 for v in base]
+        r = wilcoxon_signed_rank(base, worse)
+        assert r.n == 6
+        assert r.p_value == pytest.approx(2 / 2**6)
+        assert r.significant(0.05)
+
+    def test_three_seeds_cannot_reach_alpha(self):
+        # the floor of the exact two-sided p at n=3 is 0.25 — a
+        # 3-seed study can *never* clear α=0.05, which is why the
+        # fixtures record six seeds
+        r = wilcoxon_signed_rank([1.0, 2.0, 3.0], [2.0, 3.0, 4.0])
+        assert r.p_value == 0.25
+        assert not r.significant(0.05)
+
+    def test_mixed_direction_not_significant(self):
+        r = wilcoxon_signed_rank(
+            [1.0, -1.0, 2.0, -2.0, 0.5, -0.5], None)
+        assert r.p_value > 0.5
+
+    def test_matches_scipy_exact(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        x = [1.2, -0.8, 2.5, 3.1, -0.2, 1.9, 0.7, -1.5]
+        ours = wilcoxon_signed_rank(x)
+        ref = scipy_stats.wilcoxon(x, mode="exact")
+        assert ours.statistic == pytest.approx(ref.statistic)
+        assert ours.p_value == pytest.approx(ref.pvalue)
+
+    def test_matches_scipy_normal_approximation(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        # n > EXACT_N_MAX forces the tie-corrected normal branch
+        x = [((i * 7919) % 101 - 50) / 10.0 + 0.8
+             for i in range(EXACT_N_MAX + 10)]
+        ours = wilcoxon_signed_rank(x)
+        ref = scipy_stats.wilcoxon(x, correction=True, mode="approx")
+        assert ours.method == "wilcoxon-normal"
+        assert ours.p_value == pytest.approx(ref.pvalue, rel=1e-9)
+
+    def test_ties_exact_against_brute_force(self):
+        # scipy's exact mode does not condition the null distribution
+        # on tied (average) ranks; the DP here does, so the oracle is
+        # full enumeration of the 2^n sign assignments
+        import itertools
+
+        from repro.bench.analysis.stats import _rank_abs
+
+        import numpy as np
+
+        x = np.array([1.0, 1.0, -1.0, 2.0, 2.0, -2.0, 3.0])
+        ranks = _rank_abs(x)
+        w_obs = ranks[x > 0].sum()
+        sums = [sum(r for r, s in zip(ranks, signs) if s)
+                for signs in itertools.product((0, 1), repeat=x.size)]
+        p_ge = sum(s >= w_obs for s in sums) / len(sums)
+        p_le = sum(s <= w_obs for s in sums) / len(sums)
+        expected = min(1.0, 2.0 * min(p_ge, p_le))
+        ours = wilcoxon_signed_rank(x)
+        assert ours.p_value == pytest.approx(expected)
+        assert ours.statistic == pytest.approx(
+            min(w_obs, ranks.sum() - w_obs))
+
+    def test_empty_after_zero_drop(self):
+        r = wilcoxon_signed_rank([0.0, 0.0], None)
+        assert (r.n, r.p_value) == (0, 1.0)
+
+
+class TestSignTest:
+    def test_identical_not_significant(self):
+        x = [1.0, 2.0, 3.0, 4.0]
+        assert sign_test(x, x).p_value == 1.0
+
+    def test_one_sided_shift(self):
+        r = sign_test([1.0] * 8, [2.0] * 8)
+        assert r.p_value == pytest.approx(2 / 2**8)
+        assert r.significant(0.05)
+
+    def test_exact_binomial(self):
+        # 7 of 8 positive: p = 2 * (C(8,8) + C(8,7)) / 2^8
+        x = [1.0] * 7 + [-1.0]
+        r = sign_test(x)
+        assert r.p_value == pytest.approx(2 * (1 + 8) / 256)
+
+
+class TestSummaries:
+    def test_geomean(self):
+        assert geomean([1.0, 100.0]) == pytest.approx(10.0)
+        assert math.isnan(geomean([]))
+
+    def test_bootstrap_ci_deterministic(self):
+        vals = [10.0, 11.0, 9.5, 10.5, 10.2, 9.8]
+        a = bootstrap_ci(vals, seed=0)
+        b = bootstrap_ci(vals, seed=0)
+        assert a == b
+        lo, hi = a
+        assert lo <= sum(vals) / len(vals) <= hi
+
+    def test_bootstrap_ci_seed_changes_resamples(self):
+        vals = [10.0, 11.0, 9.5, 10.5, 10.2, 9.8]
+        assert bootstrap_ci(vals, seed=0) != bootstrap_ci(vals, seed=1)
+
+    def test_summarize_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.n == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.min == 1.0 and s.max == 4.0
+        assert s.ci_low <= s.mean <= s.ci_high
+
+    def test_significance_result_alpha_boundary(self):
+        assert SignificanceResult("m", 0.0, 0.049, 5).significant(0.05)
+        # strict inequality: p == alpha is not significant, and a
+        # zero-pair result can never be significant
+        assert not SignificanceResult("m", 0.0, 0.05, 5).significant(
+            0.05)
+        assert not SignificanceResult("m", 0.0, 0.0, 0).significant(
+            0.05)

@@ -1,0 +1,110 @@
+"""Trendline gate: monotone drift flags, noise and big jumps do not."""
+
+from pathlib import Path
+
+from repro.bench.analysis.records import RunRecord
+from repro.bench.analysis.trend import (
+    DEFAULT_DRIFT_THRESHOLD,
+    MIN_TREND_POINTS,
+    detect_trends,
+    main,
+    metric_series,
+)
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def history(values, metric="bench.cycles", family="BENCH_x",
+            extra=None):
+    return {
+        family: [
+            RunRecord(
+                source=f"{family}@{i}", kind="bench", family=family,
+                git_sha=f"sha{i:07d}", sequence=i,
+                metrics={metric: v, **(extra or {})},
+            )
+            for i, v in enumerate(values)
+        ]
+    }
+
+
+class TestDetectTrends:
+    def test_slow_monotone_rot_flags(self):
+        # +4% per revision for five revisions: never trips the 10%
+        # per-run gate, cumulatively +17% — exactly the miss this
+        # gate exists for
+        vals = [100.0, 104.0, 108.2, 112.5, 117.0]
+        report = detect_trends(history(vals))
+        (t,) = report.flagged
+        assert t.metric == "bench.cycles"
+        assert t.max_step < DEFAULT_DRIFT_THRESHOLD
+        assert t.total_drift > DEFAULT_DRIFT_THRESHOLD
+        assert not report.ok
+
+    def test_single_big_jump_is_the_per_run_gates_job(self):
+        vals = [100.0, 100.5, 115.0, 115.2]  # one 14.4% step
+        report = detect_trends(history(vals))
+        assert report.ok
+        (t,) = report.trends
+        assert t.max_step >= DEFAULT_DRIFT_THRESHOLD
+        assert not t.flagged
+
+    def test_noisy_up_down_never_flags(self):
+        vals = [100.0, 108.0, 101.0, 109.0, 102.0, 110.5]
+        report = detect_trends(history(vals))
+        assert report.ok  # +10.5% total but not monotone
+
+    def test_downward_drift_flags_too(self):
+        vals = [100.0, 96.0, 92.5, 89.0, 85.5]
+        report = detect_trends(history(vals))
+        (t,) = report.flagged
+        assert t.total_drift < 0
+
+    def test_short_history_not_trended(self):
+        report = detect_trends(history([100.0, 120.0]))
+        assert report.series == 0 and report.ok
+        assert MIN_TREND_POINTS == 3
+
+    def test_threshold_is_tunable(self):
+        vals = [100.0, 102.0, 104.0, 106.1]  # +6.1% monotone
+        assert detect_trends(history(vals)).ok
+        assert not detect_trends(history(vals), threshold=0.05).ok
+
+    def test_constant_series_never_flags(self):
+        report = detect_trends(history([5.0, 5.0, 5.0, 5.0]))
+        assert report.ok
+        assert report.trends[0].total_drift == 0.0
+
+
+class TestMetricSeries:
+    def test_only_metrics_in_every_revision(self):
+        hist = history([1.0, 2.0, 3.0])["BENCH_x"]
+        grown = RunRecord(
+            source="x@3", kind="bench", family="BENCH_x",
+            git_sha="sha3", sequence=3,
+            metrics={"bench.cycles": 4.0, "bench.new_metric": 1.0})
+        series = metric_series(hist + [grown])
+        assert "bench.cycles" in series
+        assert "bench.new_metric" not in series  # schema growth != drift
+
+    def test_config_echoes_skipped(self):
+        series = metric_series(history(
+            [1.0, 2.0, 3.0], extra={"seed": 7.0, "host.cpus": 4.0},
+        )["BENCH_x"])
+        assert set(series) == {"bench.cycles"}
+
+
+class TestTrendGateCli:
+    def test_committed_history_passes_the_gate(self, capsys):
+        # the repo's own BENCH history must be drift-clean; this is
+        # the same invocation the CI analytics job runs
+        rc = main(["--bench-dir", str(REPO / "benchmarks"), "--check"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "flagged" in out
+
+    def test_verbose_lists_unflagged_trends(self, capsys):
+        rc = main(["--bench-dir", str(REPO / "benchmarks"),
+                   "--verbose"])
+        assert rc == 0
+        assert "trendlines over" in capsys.readouterr().out

@@ -1,0 +1,76 @@
+"""Regenerate the committed analytics fixtures (docs/ANALYTICS.md).
+
+Records a small multi-seed study under ``tests/golden/analysis/runs/``:
+the EF analog at scale 0.25, three dataset seeds, two configs — the
+full baseline cache against a deliberately starved 64-entry vertex
+cache — so the committed store exercises every analysis code path:
+per-group seed aggregation, fingerprint-paired significance tests and
+the ``amst report`` exhibits.
+
+Run from the repo root (only needed when the manifest schema or the
+study design changes — the fixtures are committed):
+
+    PYTHONPATH=src python tests/golden/analysis/make_fixtures.py
+
+then re-bless the golden report:
+
+    PYTHONPATH=src python -m repro.cli report \
+        --runs-dir tests/golden/analysis/runs --bench-dir '' \
+        --baseline base \
+        --out tests/golden/analysis/report.md \
+        --tex-out tests/golden/analysis/report.tex
+
+``AMST_GIT_SHA`` and the run ids are pinned so regeneration only
+changes bytes when the recorded numbers themselves change.
+"""
+
+import os
+import shutil
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+RUNS_DIR = HERE / "runs"
+
+DATASET = "EF"
+SCALE = 0.25
+PARALLELISM = 4
+# six seeds: the smallest n where a consistent one-direction shift
+# clears α=0.05 under the exact two-sided Wilcoxon (min p = 2/2^6)
+SEEDS = (0, 1, 2, 3, 4, 5)
+# (run-id tag, extra CLI flags): "base" is the full config the report's
+# --baseline flag names; "smallcache" starves the vertex cache so the
+# cache.*/dram metrics shift on every seed (the significant pair)
+CONFIGS = (
+    ("base", []),
+    ("smallcache", ["--cache-vertices", "64"]),
+)
+
+
+def main() -> int:
+    os.environ["AMST_GIT_SHA"] = "fixture0"
+    sys.path.insert(0, str(HERE.parents[2] / "src"))
+    from repro.cli import main as amst
+
+    if RUNS_DIR.exists():
+        shutil.rmtree(RUNS_DIR)
+    for tag, extra in CONFIGS:
+        for seed in SEEDS:
+            rc = amst([
+                "run", "--dataset", DATASET,
+                "--scale", str(SCALE),
+                "--parallelism", str(PARALLELISM),
+                "--seed", str(seed),
+                "--telemetry",
+                "--runs-dir", str(RUNS_DIR),
+                "--run-id", f"fixture-{tag}-s{seed}",
+                *extra,
+            ])
+            if rc != 0:
+                return rc
+    print(f"fixtures written under {RUNS_DIR}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

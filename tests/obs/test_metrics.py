@@ -93,3 +93,78 @@ class TestPrometheus:
         assert validate_prometheus_text("not a metric line!") != []
         # sample without a TYPE declaration
         assert validate_prometheus_text("amst_x 1\n") != []
+
+
+class TestHistogramQuantiles:
+    def test_uniform_fill_interpolates(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram(buckets=(10.0, 20.0, 30.0, 40.0))
+        for v in range(1, 41):  # 1..40, 10 per bucket
+            h.observe(float(v))
+        assert h.quantile(0.5) == pytest.approx(20.0)
+        assert h.quantile(0.25) == pytest.approx(10.0)
+        assert h.quantile(1.0) == pytest.approx(40.0)
+        assert h.quantile(0.0) == pytest.approx(0.0)
+
+    def test_summary_quantiles_keys_and_order(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram(buckets=(1e2, 1e3, 1e4))
+        for v in (50, 150, 650, 900, 2500, 9000):
+            h.observe(v)
+        q = h.summary_quantiles()
+        assert list(q) == ["p50", "p95", "p99"]
+        assert q["p50"] <= q["p95"] <= q["p99"]
+
+    def test_overflow_bucket_clamps_to_last_finite_bound(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram(buckets=(10.0, 20.0))
+        for _ in range(10):
+            h.observe(1e9)  # everything in the +Inf bucket
+        assert h.quantile(0.99) == 20.0  # "at least this much"
+
+    def test_empty_histogram_is_nan(self):
+        import math
+
+        from repro.obs.metrics import Histogram
+
+        assert math.isnan(Histogram().quantile(0.5))
+
+    def test_quantile_range_validated(self):
+        from repro.obs.metrics import Histogram
+
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_snapshot_carries_quantiles(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram(buckets=(10.0, 20.0))
+        h.observe(5.0)
+        snap = h.snapshot()
+        assert set(snap["quantiles"]) == {"p50", "p95", "p99"}
+        assert "quantiles" not in Histogram().snapshot()  # empty: none
+
+    def test_merge_ignores_quantiles_key(self):
+        # snapshots from quantile-aware writers merge into readers
+        # that predate (or postdate) the key: only buckets/counts/
+        # sum/count participate
+        from repro.obs.metrics import Histogram
+
+        h = Histogram(buckets=(10.0, 20.0))
+        h.observe(5.0)
+        other = Histogram(buckets=(10.0, 20.0))
+        other.merge(h.snapshot())
+        assert other.count == 1
+        assert other.snapshot()["quantiles"] == h.snapshot()["quantiles"]
+
+    def test_exposition_still_valid_with_quantiles(self):
+        # the quantiles key must never leak into Prometheus output —
+        # exposition grammar has no such series
+        m = MetricsRegistry()
+        m.observe("sim.iteration_cycles", 1234.5, buckets=(1e3, 1e4))
+        text = m.to_prometheus()
+        assert validate_prometheus_text(text) == []
+        assert "quantile" not in text

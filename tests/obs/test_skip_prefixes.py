@@ -1,0 +1,74 @@
+"""Pin the canonical skip-prefix list and its consumers.
+
+Every surface that ignores nondeterministic metric namespaces — the
+``amst runs diff`` gate, the CI regression check and the analytics
+aggregation layer — must consume one documented constant.  This test
+pins the exact contents: adding a namespace means adding it HERE with
+a reason, and removing one means some gate silently started failing on
+wall clocks.
+"""
+
+from repro.bench.analysis import aggregate as analysis_aggregate
+from repro.obs import DEFAULT_SKIP_PREFIXES
+from repro.obs.regress import (
+    SKIP_PREFIX_REASONS,
+    RegressionReport,
+    compare_metrics,
+)
+
+
+class TestSkipPrefixConstant:
+    def test_exact_contents_pinned(self):
+        assert DEFAULT_SKIP_PREFIXES == (
+            "host.",
+            "runcache.",
+            "shm.",
+            "kernel.time.",
+            "serve.",
+            "fabric.",
+            "incremental.",
+        )
+
+    def test_every_prefix_has_a_reason(self):
+        assert tuple(SKIP_PREFIX_REASONS) == DEFAULT_SKIP_PREFIXES
+        for prefix, reason in SKIP_PREFIX_REASONS.items():
+            assert prefix.endswith("."), prefix
+            assert len(reason) > 10, prefix  # a real reason, not "tbd"
+
+    def test_kernel_dispatch_stays_diffable(self):
+        # deterministic dispatch counters must never be skipped
+        assert not any("kernel.dispatch".startswith(p.rstrip("."))
+                       for p in DEFAULT_SKIP_PREFIXES)
+
+    def test_analysis_layer_shares_the_constant(self):
+        # one constant, not a copy: the aggregation layer's default
+        # is the same object the diff gate uses
+        assert (analysis_aggregate.DEFAULT_SKIP_PREFIXES
+                is DEFAULT_SKIP_PREFIXES)
+
+
+class TestSkippedNamespaceReporting:
+    def test_compare_counts_skipped_metrics(self):
+        base = {"sim.cycles": 10.0, "host.wall_s": 1.0,
+                "host.user_s": 2.0, "shm.attach": 3.0}
+        new = {"sim.cycles": 10.0, "host.wall_s": 9.0,
+               "host.user_s": 9.0, "shm.attach": 9.0}
+        report = compare_metrics(base, new)
+        assert report.ok
+        assert report.skipped == {"host.": 2, "shm.": 1}
+
+    def test_format_prints_skipped_namespaces(self):
+        base = {"sim.cycles": 10.0, "host.wall_s": 1.0}
+        text = compare_metrics(base, base).format()
+        assert "skipped namespaces" in text
+        assert "host.*" in text
+
+    def test_no_skips_no_noise(self):
+        report = compare_metrics({"sim.cycles": 1.0},
+                                 {"sim.cycles": 1.0})
+        assert report.skipped == {}
+        assert "skipped namespaces" not in report.format()
+
+    def test_forward_compat_default(self):
+        # reports constructed without the field still format
+        assert RegressionReport(threshold=0.1).skipped == {}

@@ -242,3 +242,164 @@ class TestVerifyCommand:
         assert main(["verify", "--case", "rmat-full", "--skip-oracle",
                      "--golden-dir", str(tmp_path)]) == 1
         assert "missing" in capsys.readouterr().out
+
+
+class TestAnalyticsCLI:
+    """``amst report`` + the significance/quantile runs surfaces."""
+
+    GOLDEN_DIR = None  # set lazily; pathlib at import time is noisy
+
+    @staticmethod
+    def _golden_dir():
+        from pathlib import Path
+
+        return Path(__file__).resolve().parent / "golden" / "analysis"
+
+    def test_report_parser_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.runs_dir == "runs"
+        assert args.bench_dir == "benchmarks"
+        assert args.format == "md"
+        assert args.alpha == pytest.approx(0.05)
+        assert args.check is None and args.trend is False
+
+    def test_report_stdout_markdown(self, capsys):
+        gd = self._golden_dir()
+        assert main(["report", "--runs-dir", str(gd / "runs"),
+                     "--bench-dir", "", "--baseline", "base"]) == 0
+        out = capsys.readouterr().out
+        assert "# AMST experiment report" in out
+        assert "| significant |" in out
+
+    def test_report_check_matches_committed_golden(self, capsys):
+        gd = self._golden_dir()
+        assert main(["report", "--runs-dir", str(gd / "runs"),
+                     "--bench-dir", "", "--baseline", "base",
+                     "--check", str(gd / "report.md")]) == 0
+        assert "byte-identical" in capsys.readouterr().out
+
+    def test_report_check_flags_drift(self, capsys, tmp_path):
+        gd = self._golden_dir()
+        stale = tmp_path / "report.md"
+        blessed = (gd / "report.md").read_text()
+        stale.write_text(blessed.replace("EF", "XX", 1))
+        assert main(["report", "--runs-dir", str(gd / "runs"),
+                     "--bench-dir", "", "--baseline", "base",
+                     "--check", str(stale)]) == 1
+        out = capsys.readouterr().out
+        assert "drifted" in out and "re-bless" in out
+
+    def test_report_writes_md_and_tex(self, capsys, tmp_path):
+        gd = self._golden_dir()
+        md, tex = tmp_path / "r.md", tmp_path / "r.tex"
+        assert main(["report", "--runs-dir", str(gd / "runs"),
+                     "--bench-dir", "", "--baseline", "base",
+                     "--out", str(md), "--tex-out", str(tex)]) == 0
+        assert md.read_text().startswith("# AMST experiment report")
+        assert "\\begin{tabular}" in tex.read_text()
+
+    def test_report_trend_section(self, capsys):
+        from pathlib import Path
+
+        bench = Path(__file__).resolve().parents[1] / "benchmarks"
+        assert main(["report", "--runs-dir", "", "--bench-dir",
+                     str(bench), "--trend"]) == 0
+        assert "Trendlines" in capsys.readouterr().out
+
+    def test_diff_significance_demotes_single_seed(self, capsys):
+        gd = self._golden_dir()
+        assert main([
+            "runs", "diff", "fixture-base-s0", "fixture-smallcache-s0",
+            "--significance", "--runs-dir", str(gd / "runs")]) == 0
+        out = capsys.readouterr().out
+        assert "insufficient seeds" in out
+        assert "skipped namespaces" in out
+
+    def test_diff_significance_multi_seed_verdict(self, capsys):
+        gd = self._golden_dir()
+        base = ",".join(f"fixture-base-s{i}" for i in range(6))
+        new = ",".join(f"fixture-smallcache-s{i}" for i in range(6))
+        assert main(["runs", "diff", base, new, "--significance",
+                     "--runs-dir", str(gd / "runs")]) == 1
+        out = capsys.readouterr().out
+        assert "6 pair(s)" in out
+        assert "wilcoxon p=" in out
+        assert "sim.dram.blocks" in out
+
+    def test_diff_significance_identical_sides_pass(self, capsys):
+        gd = self._golden_dir()
+        refs = ",".join(f"fixture-base-s{i}" for i in range(6))
+        assert main(["runs", "diff", refs, refs, "--significance",
+                     "--runs-dir", str(gd / "runs")]) == 0
+        assert "0 significant" in capsys.readouterr().out
+
+    def test_diff_multi_ref_requires_significance(self, capsys):
+        gd = self._golden_dir()
+        assert main(["runs", "diff", "fixture-base-s0,fixture-base-s1",
+                     "fixture-base-s2",
+                     "--runs-dir", str(gd / "runs")]) == 2
+        assert "--significance" in capsys.readouterr().out
+
+    def test_runs_show_prints_histogram_quantiles(self, capsys):
+        import json
+
+        gd = self._golden_dir()
+        assert main(["runs", "show", "fixture-base-s0",
+                     "--runs-dir", str(gd / "runs")]) == 0
+        data = json.loads(capsys.readouterr().out)
+        hists = data["histograms"]
+        assert "sim.iteration_cycles" in hists
+        for key in ("count", "sum", "p50", "p95", "p99"):
+            assert key in hists["sim.iteration_cycles"]
+
+    def test_runs_show_tolerates_future_manifest(self, capsys,
+                                                 tmp_path):
+        # forward compat: unknown fields, no metrics.json sibling —
+        # show must still print the manifest verbatim (plus nothing)
+        import json
+
+        run_dir = tmp_path / "runs" / "future-run"
+        run_dir.mkdir(parents=True)
+        manifest = {
+            "schema": "amst-run-manifest/9",
+            "run": {"run_id": "future-run",
+                    "a_new_identity_field": True},
+            "metrics": {"sim.cycles.total": 1.0},
+            "entirely_new_namespace": {"x": [1, 2, 3]},
+        }
+        (run_dir / "manifest.json").write_text(json.dumps(manifest))
+        assert main(["runs", "show", "future-run",
+                     "--runs-dir", str(tmp_path / "runs")]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["entirely_new_namespace"] == {"x": [1, 2, 3]}
+        assert "histograms" not in shown
+
+    def test_runs_show_tolerates_torn_metrics_json(self, capsys,
+                                                   tmp_path):
+        import json
+
+        run_dir = tmp_path / "runs" / "torn"
+        run_dir.mkdir(parents=True)
+        (run_dir / "manifest.json").write_text(
+            json.dumps({"run": {"run_id": "torn"}}))
+        (run_dir / "metrics.json").write_text("{ not json")
+        assert main(["runs", "show", "torn",
+                     "--runs-dir", str(tmp_path / "runs")]) == 0
+        assert "histograms" not in json.loads(capsys.readouterr().out)
+
+    def test_analysis_loader_reads_future_manifest(self, tmp_path):
+        # same forward-compat guarantee at the analysis layer
+        import json
+
+        from repro.bench.analysis.records import load_run_records
+
+        run_dir = tmp_path / "runs" / "future-run"
+        run_dir.mkdir(parents=True)
+        (run_dir / "manifest.json").write_text(json.dumps({
+            "run": {"run_id": "future-run", "unknown": 1},
+            "metrics": {"sim.cycles.total": 2.0, "odd": "str"},
+            "future_block": [1, 2],
+        }))
+        (rec,) = load_run_records(tmp_path / "runs")
+        assert rec.run_id == "future-run"
+        assert rec.metrics == {"sim.cycles.total": 2.0}
